@@ -1,0 +1,46 @@
+"""Ablation — boundary-crossing mechanisms (DESIGN.md §6).
+
+§9.3.2 attributes the Privagic/Intel-SDK gap to the communication
+mechanism: a lock-free SPSC queue versus a lock-based switchless call.
+This ablation sweeps the enclave-side work per operation and reports
+the crossing overhead of each mechanism, showing the crossover the
+paper describes: the gap matters for cheap operations (hashmap) and
+washes out for expensive ones (linked list).
+"""
+
+from repro.baselines.intelsdk import SdkCallModel
+from repro.bench import Report
+from repro.sgx.costmodel import MACHINE_A
+
+
+def regenerate_channel_ablation() -> Report:
+    report = Report("ablation_channels",
+                    "Ablation: lock-free queue vs lock-based "
+                    "switchless call")
+    sdk = SdkCallModel()
+    privagic_roundtrip = 2 * MACHINE_A.privagic_message_cycles
+    rows = []
+    for enclave_cycles in (1_000, 10_000, 100_000, 1_000_000,
+                           10_000_000):
+        sdk_overhead = sdk.call_overhead(enclave_cycles)
+        total_privagic = enclave_cycles + privagic_roundtrip
+        total_sdk = enclave_cycles + sdk_overhead
+        rows.append((enclave_cycles, privagic_roundtrip, sdk_overhead,
+                     total_sdk / total_privagic))
+    report.table(("enclave cycles/op", "privagic overhead",
+                  "sdk overhead", "sdk/privagic total"), rows)
+    report.add()
+    report.add("Shape: the advantage is largest for cheap operations "
+               "(the hashmap's 'few memory accesses', §9.3.2) and "
+               "amortizes for long ones (the linked list's 50 000 "
+               "node scan).")
+    cheap = rows[0][3]
+    expensive = rows[-1][3]
+    assert cheap > 2.0
+    assert expensive < 1.25
+    return report
+
+
+def bench_ablation_channels(benchmark):
+    report = benchmark(regenerate_channel_ablation)
+    report.write()

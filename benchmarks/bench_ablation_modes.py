@@ -1,0 +1,84 @@
+"""Ablation — hardened versus relaxed mode (paper §5, §6.1).
+
+The same program compiled in both modes: hardened refuses untrusted
+inputs to enclaves (Iago protection) and multi-color structures;
+relaxed admits both at the price of the Iago guarantee.  The ablation
+reports what each mode accepts and the message traffic of the
+partitioned runs.
+"""
+
+from repro.bench import Report
+from repro.core.colors import HARDENED, RELAXED
+from repro.core.compiler import compile_and_partition
+from repro.errors import PartitionError, SecureTypeError
+from repro.runtime import run_partitioned
+
+CLEAN = """
+    long color(blue) total = 0;
+    entry int main() {
+        for (int i = 0; i < 10; i++) total = total + i;
+        return 0;
+    }
+"""
+
+IAGO = """
+    int knob = 4;
+    int color(blue) state = 10;
+    entry int main() { state = state + knob; return 0; }
+"""
+
+MULTICOLOR = """
+    struct account {
+        long color(blue) owner;
+        double color(red) balance;
+    };
+    entry int main() {
+        struct account* a = malloc(sizeof(struct account));
+        a->owner = 7;
+        return 0;
+    }
+"""
+
+PROGRAMS = {"clean": CLEAN, "iago-input": IAGO,
+            "multi-color struct": MULTICOLOR}
+
+
+def _try(source: str, mode: str):
+    try:
+        program = compile_and_partition(source, mode=mode)
+    except (SecureTypeError, PartitionError) as error:
+        return f"rejected ({error.args[0][:40]}...)", None
+    result, runtime = run_partitioned(program, "main")
+    return "runs", runtime.stats.messages
+
+
+def regenerate_mode_ablation() -> Report:
+    report = Report("ablation_modes",
+                    "Ablation: hardened vs relaxed mode")
+    rows = []
+    outcomes = {}
+    for name, source in PROGRAMS.items():
+        for mode in (HARDENED, RELAXED):
+            verdict, messages = _try(source, mode)
+            outcomes[(name, mode)] = verdict
+            rows.append((name, mode, verdict,
+                         messages if messages is not None else "-"))
+    report.table(("program", "mode", "outcome", "messages"), rows)
+    report.add()
+    report.add("Paper: hardened mode enforces confidentiality, "
+               "integrity AND Iago protection; relaxed mode drops the "
+               "Iago protection but supports multi-color structures "
+               "(§5, §8).")
+    assert outcomes[("clean", HARDENED)] == "runs"
+    assert outcomes[("clean", RELAXED)] == "runs"
+    assert outcomes[("iago-input", HARDENED)].startswith("rejected")
+    assert outcomes[("iago-input", RELAXED)] == "runs"
+    assert outcomes[("multi-color struct",
+                     HARDENED)].startswith("rejected")
+    assert outcomes[("multi-color struct", RELAXED)] == "runs"
+    return report
+
+
+def bench_ablation_modes(benchmark):
+    report = benchmark(regenerate_mode_ablation)
+    report.write()

@@ -1,0 +1,52 @@
+"""Figure 10 — the hashmap with two colors (paper §9.3.2).
+
+Machine A, 20 000 pre-loaded keys (the two-color runs are much
+longer, §9.3), keys and values in two different enclaves.
+Configurations: Unprotected, Privagic-2 (relaxed mode, §7.2 field
+indirection), Intel-sdk-2 (two EDL enclaves, manual copies).
+
+Expected shape: Privagic divides Intel-sdk-2's latency by 6.4-9.2;
+both are far slower than Unprotected (boundary crossings per request).
+"""
+
+from repro.apps.deployments import MapExperiment, PROFILES
+from repro.bench import Report
+from repro.workloads import WORKLOAD_A, WORKLOAD_B, WORKLOAD_C
+
+N_ITEMS = 20_000
+DEPLOYMENTS = ("Unprotected", "Privagic-2", "Intel-sdk-2")
+
+
+def regenerate_figure10() -> Report:
+    report = Report("fig10_twocolor",
+                    "Figure 10: hashmap with YCSB (2 colors, "
+                    "machine A, 20k keys)")
+    rows = []
+    ratio = None
+    for spec in (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C):
+        experiment = MapExperiment(PROFILES["hashmap"], N_ITEMS, spec)
+        results = {d: experiment.run(d) for d in DEPLOYMENTS}
+        for d in DEPLOYMENTS:
+            r = results[d]
+            rows.append(("hashmap", spec.name, d, r.throughput_ops,
+                         r.mean_latency_us))
+        if spec is WORKLOAD_A:
+            ratio = (results["Intel-sdk-2"].mean_latency_us
+                     / results["Privagic-2"].mean_latency_us)
+            slowdown = (results["Privagic-2"].mean_latency_us
+                        / results["Unprotected"].mean_latency_us)
+    report.table(("structure", "wl", "deployment", "ops/s",
+                  "latency_us"), rows)
+    report.add()
+    report.band("Intel-sdk-2 latency / Privagic-2 latency", ratio,
+                (6.4, 9.2))
+    report.add(f"Privagic-2 vs Unprotected slowdown: {slowdown:.1f}x "
+               "(paper: 'significantly degrades latency', §9.3.2)")
+    assert slowdown > 3.0
+    return report
+
+
+def bench_fig10(benchmark):
+    report = benchmark(regenerate_figure10)
+    report.write()
+    assert not any(line.startswith("[OUT") for line in report.lines)

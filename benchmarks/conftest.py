@@ -1,0 +1,7 @@
+"""Shared fixtures for the benchmark suite."""
+
+import os
+import sys
+
+# Allow `pytest benchmarks/` from the repo root without installing.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))

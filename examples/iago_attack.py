@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Iago attacks and the hardened/relaxed trade-off (§4, §5.3, §6.1.2).
+
+An Iago attack feeds a poisoned value from attacker-controlled memory
+into an enclave.  In hardened mode Privagic rejects the vulnerable
+program at compile time (a value loaded from U stays U and cannot be
+consumed by enclave code); in relaxed mode the program compiles — and
+the demo carries out the attack to show the documented gap.
+
+Run:  python examples/iago_attack.py
+"""
+
+from repro.core.colors import HARDENED, RELAXED
+from repro.core.compiler import compile_and_partition
+from repro.errors import SecureTypeError
+from repro.runtime import PrivagicRuntime
+from repro.sgx import Attacker, SGXAccessPolicy
+
+SOURCE = """
+    long table_size = 4;          /* unsafe: the attacker owns this */
+    long color(safe) limit = 100;
+    long color(safe) state = 0;
+
+    entry long step() {
+        state = state + table_size;   /* enclave consumes U data */
+        long ok = 0;
+        if (state < limit) ok = 1;
+        return 0;
+    }
+"""
+
+
+def main() -> None:
+    print("Hardened mode on the vulnerable program:")
+    try:
+        compile_and_partition(SOURCE, mode=HARDENED)
+        raise AssertionError("hardened mode must reject this")
+    except SecureTypeError as error:
+        print(f"  rejected at compile time: {error}")
+        print("  (Rule 2: a 'safe' instruction cannot consume a U "
+              "value — the Iago protection of §5.3)")
+
+    print("\nRelaxed mode compiles the same program:")
+    program = compile_and_partition(SOURCE, mode=RELAXED)
+    runtime = PrivagicRuntime(program)
+    SGXAccessPolicy().attach(runtime.machine)
+
+    print("  the attacker poisons table_size before the enclave runs")
+    attacker = Attacker(runtime.machine)
+    attacker.corrupt_global("table_size", 10_000_000)
+
+    runtime.run("step")
+    state = _read_global(runtime, "state")
+    print(f"  enclave state after one step: {state} "
+          f"(uncorrupted would be 4)")
+    assert state == 10_000_000
+    print("  => the poisoned value flowed into the enclave: relaxed "
+          "mode trades the Iago guarantee for flexibility (§6.1.2).")
+
+    print("\nWhat the attacker still cannot do (either mode):")
+    try:
+        attacker.corrupt_global("state", 0)
+    except Exception as error:
+        print(f"  write enclave state directly: {type(error).__name__}")
+    try:
+        attacker.try_read_enclave("safe")
+    except Exception as error:
+        print(f"  read enclave memory: {type(error).__name__}")
+
+
+def _read_global(runtime, name):
+    for module in runtime.machine.modules:
+        gv = module.globals.get(name)
+        if gv is not None:
+            return runtime.machine.memory.read(
+                runtime.machine.global_address(gv))
+    raise KeyError(name)
+
+
+if __name__ == "__main__":
+    main()

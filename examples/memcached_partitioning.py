@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Partitioning minicache (the §9.2 memcached experiment, end to end).
+
+1. compile the annotated MiniC minicache in hardened mode and compare
+   the resulting enclave TCB with the whole application;
+2. run the partitioned cache on the worker/channel runtime under the
+   SGX access policy and check it against the pristine version;
+3. replay the Figure 8 throughput experiment on the cost model.
+
+Run:  python examples/memcached_partitioning.py
+"""
+
+from repro.apps.deployments import CacheExperiment
+from repro.apps.minicache.minic_source import (
+    DECLASSIFY_EXTERNALS,
+    FULL_ANNOTATED,
+    FULL_PRISTINE,
+    modified_lines,
+)
+from repro.core.compiler import compile_and_partition
+from repro.frontend import compile_source
+from repro.ir.interp import Machine
+from repro.runtime import PrivagicRuntime
+from repro.sgx import SGXAccessPolicy
+from repro.sgx.costmodel import MIB
+from repro.workloads import WORKLOAD_A
+
+
+def main() -> None:
+    count, _ = modified_lines()
+    print(f"Annotation effort: {count} modified lines "
+          f"(paper's memcached: 9)")
+
+    print("\nCompiling the annotated minicache (hardened mode)...")
+    program = compile_and_partition(FULL_ANNOTATED, mode="hardened")
+    sizes = {c: program.modules[c].instruction_count()
+             for c in program.colors}
+    total = sum(sizes.values())
+    print(f"  partitions: {sizes}")
+    print(f"  enclave holds {sizes['store']} of {total} instructions "
+          f"({100 * sizes['store'] / total:.0f}%); a Scone-style full "
+          f"embed would hold 100% plus libc and a libOS")
+
+    print("\nRunning 60 requests, partitioned vs pristine...")
+    machine = Machine(compile_source(FULL_PRISTINE))
+    expected = machine.run_function("serve", [60])
+    runtime = PrivagicRuntime(program, DECLASSIFY_EXTERNALS,
+                              max_steps=80_000_000)
+    SGXAccessPolicy().attach(runtime.machine)
+    result = runtime.run("serve", [60])
+    print(f"  pristine: {expected}, partitioned: {result}")
+    assert result == expected
+    print(f"  message traffic: {runtime.stats.as_dict()}")
+
+    print("\nFigure 8 on the cost model (machine B, workload A):")
+    print(f"  {'dataset':>10} {'Unprotected':>14} {'Privagic':>14} "
+          f"{'Scone':>12}")
+    for size_mib in (1, 64, 1024, 8192, 32768):
+        experiment = CacheExperiment(max(1, size_mib * MIB // 1024),
+                                     WORKLOAD_A)
+        row = [experiment.run(d).throughput_ops
+               for d in ("Unprotected", "Privagic", "Scone")]
+        print(f"  {size_mib:>7}MiB {row[0]:>14,.0f} {row[1]:>14,.0f} "
+              f"{row[2]:>12,.0f}")
+    print("\nShape check (paper §9.2.3): Privagic ~8.5-10x Scone on "
+          "small datasets, within 5-20% of Unprotected; at 32 GiB "
+          "Privagic degrades but stays >= 2.3x Scone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim so ``pip install -e .`` works without network
+access (the environment's setuptools predates PEP 660 editable
+installs)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — a reproduction of *Privagic: automatic code partitioning with
+explicit secure typing* (MIDDLEWARE 2024).
+
+The package is organised as one subpackage per subsystem:
+
+``repro.ir``
+    An SSA intermediate representation modelled on LLVM IR, with a
+    builder, textual printer/parser, verifier, CFG analyses, the
+    ``mem2reg`` and dead-code-elimination passes, and a step-based
+    interpreter with a simulated flat address space.
+
+``repro.frontend``
+    A small C-like language ("MiniC") compiler that plays the role of
+    clang: it understands the ``color(...)`` secure-type qualifier and
+    the ``within`` / ``ignore`` / ``entry`` annotations of the paper.
+
+``repro.core``
+    The paper's contribution: the color lattice (Table 2), the secure
+    type system (Table 3), the stabilizing inference algorithm with
+    per-call-site specialization, and the partitioner that rewrites a
+    program into per-color chunks.
+
+``repro.sgx``
+    An Intel SGX simulator: enclaves, processor modes, access checks
+    and a calibrated cost model (enclave transitions, amplified LLC
+    misses in enclave mode, EPC limits).
+
+``repro.runtime``
+    The Privagic runtime: lock-free FIFO channels, spawn/cont/wait
+    messages, per-enclave worker threads and the partitioned-program
+    loader.
+
+``repro.baselines``
+    Comparators: sequential data-flow analyses (use-def taint,
+    Andersen points-to, abstract-interpretation taint), a Scone-like
+    full-embed deployment and an Intel-SDK-like ecall deployment.
+
+``repro.workloads`` / ``repro.datastructures`` / ``repro.apps``
+    YCSB workload generation, the evaluated data structures, and
+    minicache, the memcached stand-in of the evaluation.
+
+``repro.bench``
+    The experiment harness regenerating every table and figure of the
+    paper's evaluation section.
+"""
+
+from repro.errors import (
+    PrivagicError,
+    SecureTypeError,
+    PartitionError,
+    IRError,
+    FrontendError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PrivagicError",
+    "SecureTypeError",
+    "PartitionError",
+    "IRError",
+    "FrontendError",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""repro.apps — the evaluated applications and deployment models.
+
+* :mod:`repro.apps.minicache` — the memcached stand-in: a
+  multi-threaded, event-based in-memory KV cache with a text protocol,
+  LRU eviction and one central hash table (paper §9.2).
+* :mod:`repro.apps.deployments` — the experiment drivers wiring data
+  structures and minicache onto the Unprotected / Privagic / Scone /
+  Intel-SDK cost models (Figures 8, 9 and 10).
+"""
+
+from repro.apps.deployments import (
+    MapExperiment,
+    CacheExperiment,
+    StructureProfile,
+    PROFILES,
+)
+
+__all__ = [
+    "MapExperiment", "CacheExperiment", "StructureProfile", "PROFILES",
+]

@@ -1,0 +1,20 @@
+"""minicache — the memcached stand-in of the evaluation (paper §9.2).
+
+Like memcached 1.6.12, minicache is an event-based multi-worker
+in-memory KV cache with one central hash table and LRU eviction:
+
+* :mod:`repro.apps.minicache.protocol` — the memcached text protocol
+  (get/set/delete subset);
+* :mod:`repro.apps.minicache.lru` — byte-budgeted LRU eviction;
+* :mod:`repro.apps.minicache.server` — the cache and its worker pool;
+* :mod:`repro.apps.minicache.client` — a protocol client + YCSB driver;
+* :mod:`repro.apps.minicache.minic_source` — the MiniC version whose
+  central map is colored for Privagic, with its pristine twin; the
+  Table 4 engineering-effort and TCB metrics diff and compile these.
+"""
+
+from repro.apps.minicache.server import MiniCache, CacheStats
+from repro.apps.minicache.client import MiniCacheClient
+from repro.apps.minicache.lru import LRUIndex
+
+__all__ = ["MiniCache", "CacheStats", "MiniCacheClient", "LRUIndex"]

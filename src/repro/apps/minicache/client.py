@@ -1,0 +1,61 @@
+"""Protocol client and YCSB driver for minicache.
+
+The driver plays the role of the paper's Java YCSB client (§9.2): it
+turns a :class:`~repro.workloads.ycsb.Workload` stream into protocol
+requests against a server (a :class:`~repro.apps.minicache.server
+.WorkerPool` in-process here; the cost model supplies the loopback
+network costs in the Figure 8 experiment)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.apps.minicache import protocol
+from repro.workloads.ycsb import Workload
+
+
+class MiniCacheClient:
+    """Talks the memcached text protocol to a request-handling
+    callable (``raw_request -> raw_response``)."""
+
+    def __init__(self, endpoint: Callable[[str], str]):
+        self.endpoint = endpoint
+
+    def set(self, key: str, data: bytes) -> bool:
+        return self.endpoint(protocol.encode_set(key, data)) == \
+            protocol.STORED
+
+    def get(self, key: str) -> Optional[bytes]:
+        return protocol.parse_value_response(
+            self.endpoint(protocol.encode_get(key)))
+
+    def delete(self, key: str) -> bool:
+        return self.endpoint(protocol.encode_delete(key)) == \
+            protocol.DELETED
+
+
+def run_ycsb(client: MiniCacheClient, workload: Workload,
+             preload: bool = True) -> Dict[str, int]:
+    """Drive the workload through the protocol; returns op counters.
+
+    Records are ``record_bytes`` of deterministic filler, like YCSB's
+    field generator."""
+    record = bytes(ord("a") + i % 26
+                   for i in range(workload.spec.record_bytes))
+    if preload:
+        for key in range(workload.record_count):
+            client.set(f"user{key}", record)
+    counters = {"read": 0, "update": 0, "insert": 0, "rmw": 0,
+                "hits": 0}
+    for op in workload.operations():
+        key = f"user{op.key}"
+        if op.kind == "read":
+            if client.get(key) is not None:
+                counters["hits"] += 1
+        elif op.kind in ("update", "insert"):
+            client.set(key, record)
+        elif op.kind == "rmw":
+            client.get(key)
+            client.set(key, record)
+        counters[op.kind] += 1
+    return counters

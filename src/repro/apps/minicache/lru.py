@@ -1,0 +1,106 @@
+"""Byte-budgeted LRU index (memcached keeps "the least recently used
+key/value pairs in memory" via a background thread; §9.2)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class _Node:
+    __slots__ = ("key", "size", "prev", "next")
+
+    def __init__(self, key, size: int):
+        self.key = key
+        self.size = size
+        self.prev: Optional["_Node"] = None
+        self.next: Optional["_Node"] = None
+
+
+class LRUIndex:
+    """Doubly linked LRU list with a byte budget.
+
+    ``touch`` moves a key to the MRU end; ``add`` registers a new key
+    and returns the keys that must be evicted to stay within budget.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self._nodes: Dict[object, _Node] = {}
+        self._head: Optional[_Node] = None  # MRU
+        self._tail: Optional[_Node] = None  # LRU
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, key) -> bool:
+        return key in self._nodes
+
+    # -- list plumbing ---------------------------------------------------------
+
+    def _unlink(self, node: _Node) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+        node.prev = node.next = None
+
+    def _push_front(self, node: _Node) -> None:
+        node.next = self._head
+        node.prev = None
+        if self._head is not None:
+            self._head.prev = node
+        self._head = node
+        if self._tail is None:
+            self._tail = node
+
+    # -- operations --------------------------------------------------------------
+
+    def touch(self, key) -> None:
+        node = self._nodes.get(key)
+        if node is None or node is self._head:
+            return
+        self._unlink(node)
+        self._push_front(node)
+
+    def add(self, key, size: int) -> List[object]:
+        """Track ``key``; returns the evicted keys (never ``key``)."""
+        existing = self._nodes.get(key)
+        if existing is not None:
+            self.used_bytes -= existing.size
+            self._unlink(existing)
+            del self._nodes[key]
+        node = _Node(key, size)
+        self._nodes[key] = node
+        self._push_front(node)
+        self.used_bytes += size
+        evicted = []
+        while self.used_bytes > self.capacity_bytes and \
+                self._tail is not None and self._tail is not node:
+            victim = self._tail
+            self._unlink(victim)
+            del self._nodes[victim.key]
+            self.used_bytes -= victim.size
+            evicted.append(victim.key)
+        return evicted
+
+    def remove(self, key) -> bool:
+        node = self._nodes.pop(key, None)
+        if node is None:
+            return False
+        self._unlink(node)
+        self.used_bytes -= node.size
+        return True
+
+    def lru_order(self) -> List[object]:
+        """Keys from most to least recently used."""
+        order = []
+        node = self._head
+        while node is not None:
+            order.append(node.key)
+            node = node.next
+        return order

@@ -1,0 +1,101 @@
+"""The memcached text protocol (the subset YCSB exercises).
+
+Requests::
+
+    set <key> <flags> <exptime> <bytes>\\r\\n<data>\\r\\n
+    get <key>\\r\\n
+    delete <key>\\r\\n
+
+Responses::
+
+    STORED\\r\\n
+    VALUE <key> <flags> <bytes>\\r\\n<data>\\r\\nEND\\r\\n
+    END\\r\\n                      (miss)
+    DELETED\\r\\n / NOT_FOUND\\r\\n
+    ERROR\\r\\n
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Tuple
+
+CRLF = "\r\n"
+
+
+class Request(NamedTuple):
+    command: str                 # "set" | "get" | "delete"
+    key: str
+    flags: int = 0
+    exptime: int = 0
+    data: bytes = b""
+
+
+class ProtocolError(ValueError):
+    pass
+
+
+def parse_request(text: str) -> Request:
+    """Parse one complete request (header line [+ data line])."""
+    if CRLF not in text:
+        raise ProtocolError("request not terminated")
+    header, _, rest = text.partition(CRLF)
+    parts = header.split()
+    if not parts:
+        raise ProtocolError("empty request")
+    command = parts[0].lower()
+    if command == "get":
+        if len(parts) != 2:
+            raise ProtocolError("get expects one key")
+        return Request("get", parts[1])
+    if command == "delete":
+        if len(parts) != 2:
+            raise ProtocolError("delete expects one key")
+        return Request("delete", parts[1])
+    if command == "set":
+        if len(parts) != 5:
+            raise ProtocolError("set expects key flags exptime bytes")
+        key, flags, exptime, nbytes = parts[1:]
+        size = int(nbytes)
+        data = rest[:size].encode("latin-1")
+        if len(data) != size:
+            raise ProtocolError(
+                f"set: expected {size} data bytes, got {len(data)}")
+        return Request("set", key, int(flags), int(exptime), data)
+    raise ProtocolError(f"unknown command {command!r}")
+
+
+def encode_set(key: str, data: bytes, flags: int = 0,
+               exptime: int = 0) -> str:
+    return (f"set {key} {flags} {exptime} {len(data)}{CRLF}"
+            f"{data.decode('latin-1')}{CRLF}")
+
+
+def encode_get(key: str) -> str:
+    return f"get {key}{CRLF}"
+
+
+def encode_delete(key: str) -> str:
+    return f"delete {key}{CRLF}"
+
+
+def encode_value(key: str, data: bytes, flags: int = 0) -> str:
+    return (f"VALUE {key} {flags} {len(data)}{CRLF}"
+            f"{data.decode('latin-1')}{CRLF}END{CRLF}")
+
+
+STORED = f"STORED{CRLF}"
+END = f"END{CRLF}"
+DELETED = f"DELETED{CRLF}"
+NOT_FOUND = f"NOT_FOUND{CRLF}"
+ERROR = f"ERROR{CRLF}"
+
+
+def parse_value_response(text: str) -> Optional[bytes]:
+    """Extract the data from a VALUE response; None for a miss."""
+    if text == END:
+        return None
+    if not text.startswith("VALUE "):
+        raise ProtocolError(f"unexpected response {text[:32]!r}")
+    header, _, rest = text.partition(CRLF)
+    size = int(header.split()[3])
+    return rest[:size].encode("latin-1")

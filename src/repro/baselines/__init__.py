@@ -1,0 +1,32 @@
+"""repro.baselines — the systems Privagic is compared against.
+
+* :mod:`repro.baselines.dataflow` — sequential data-flow analyses in
+  the style of the Table 1 tools: use-def-chain taint (Privtrans),
+  flow-sensitive abstract-interpretation taint (Glamdring/Eva) and
+  flow-insensitive Andersen points-to taint.  The flow-sensitive
+  analysis is deliberately *sequential* and reproduces the Figure 3
+  failure on multi-threaded programs.
+* :mod:`repro.baselines.scone` — the full-embed deployment (whole
+  application + libc + libOS inside one enclave, switchless syscalls).
+* :mod:`repro.baselines.intelsdk` — the EDL/ecall deployment with
+  lock-based switchless calls (§9.3.2).
+"""
+
+from repro.baselines.dataflow import (
+    AbstractInterpTaint,
+    AndersenPointsTo,
+    AndersenTaint,
+    UseDefTaint,
+    DataflowPartition,
+    apply_dataflow_placement,
+)
+from repro.baselines.dataflow.glamdring import (
+    GlamdringPartition,
+    glamdring_partition,
+)
+
+__all__ = [
+    "AbstractInterpTaint", "AndersenPointsTo", "AndersenTaint",
+    "UseDefTaint", "DataflowPartition", "apply_dataflow_placement",
+    "GlamdringPartition", "glamdring_partition",
+]

@@ -1,0 +1,16 @@
+"""Sequential data-flow analyses (the Table 1 family)."""
+
+from repro.baselines.dataflow.pointsto import AndersenPointsTo
+from repro.baselines.dataflow.taint import (
+    AbstractInterpTaint,
+    AndersenTaint,
+    UseDefTaint,
+    DataflowPartition,
+    apply_dataflow_placement,
+)
+
+__all__ = [
+    "AndersenPointsTo",
+    "AbstractInterpTaint", "AndersenTaint", "UseDefTaint",
+    "DataflowPartition", "apply_dataflow_placement",
+]

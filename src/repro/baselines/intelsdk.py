@@ -1,0 +1,69 @@
+"""Intel-SDK (EDL/ecall) deployment model (§9.3).
+
+Intel-sdk-1 exposes the map interface (get/put) in EDL and crosses
+into the enclave with a *lock-based* switchless call ([40, 43] in the
+paper); §9.3.2 attributes its deficit against Privagic to that lock:
+the caller spins on a shared slot while the enclave thread works, and
+falls back to a futex sleep/wakeup when the enclave operation is long.
+Intel-sdk-2 uses two enclaves (keys and values) and needs several
+ecalls plus manual copies per operation (§9.3.1: "a whole redesign of
+the code").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sgx.costmodel import CostMeter
+
+
+@dataclass
+class SdkCallModel:
+    """Cost of one lock-based switchless call as a function of the
+    enclave-side work it waits for."""
+
+    #: fixed protocol cost (slot handshake, lock acquire/release)
+    base_cycles: float = 6_000.0
+    #: wasted spinning, proportional to the enclave-side latency
+    spin_waste: float = 1.3
+    #: beyond this the waiter sleeps: bounded waste + futex wakeup
+    spin_cap_cycles: float = 2_000_000.0
+    wakeup_cycles: float = 18_000.0
+
+    def call_overhead(self, enclave_cycles: float) -> float:
+        spin = self.spin_waste * enclave_cycles
+        if spin <= self.spin_cap_cycles:
+            return self.base_cycles + spin
+        return self.base_cycles + self.spin_cap_cycles + \
+            self.wakeup_cycles
+
+
+class IntelSDKDeployment:
+    """One or two EDL enclaves in front of the map."""
+
+    def __init__(self, enclaves: int = 1):
+        self.enclaves = enclaves
+        self.call_model = SdkCallModel()
+
+    @property
+    def name(self) -> str:
+        return f"Intel-sdk-{self.enclaves}"
+
+    def charge_op(self, meter: CostMeter, enclave_cycles: float) -> None:
+        """Charge the boundary-crossing cost for one map operation;
+        the enclave-side work itself is charged by the experiment."""
+        if self.enclaves == 1:
+            meter.charge("sdk_switchless",
+                         self.call_model.call_overhead(enclave_cycles),
+                         1)
+        else:
+            # Two enclaves: an ecall into the key enclave, an ecall
+            # into the value enclave, plus copies staged through
+            # untrusted memory in both directions (the manual §9.3.1
+            # redesign), each a full eenter/eexit pair.
+            per_enclave = enclave_cycles / 2.0
+            for _ in range(self.enclaves):
+                meter.ecalls(2)  # call + result copy-back
+                meter.charge(
+                    "sdk_switchless",
+                    self.call_model.call_overhead(per_enclave), 1)

@@ -1,0 +1,12 @@
+"""repro.bench — experiment harness regenerating the paper's tables
+and figures.
+
+Each benchmark in ``benchmarks/`` drives one artifact of the
+evaluation section through :class:`~repro.bench.harness.Report`,
+which renders the same rows/series the paper reports and records
+paper-vs-measured values for EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import Report, band_check, format_table
+
+__all__ = ["Report", "band_check", "format_table"]

@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the Privagic toolchain of Figure 5:
+
+``analyze``
+    Run the secure type analysis on a MiniC file and report the
+    inferred color sets or the typing errors.
+
+``compile``
+    Analyze and partition; print the per-color modules (optionally to
+    a directory, one ``.ir`` file per partition).
+
+``run``
+    Compile, partition and execute an entry point on the simulated
+    SGX machine, reporting the result and the message traffic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.core.analysis import analyze_module
+from repro.core.colors import HARDENED, RELAXED
+from repro.core.compiler import PrivagicCompiler
+from repro.errors import PrivagicError
+from repro.frontend import compile_source
+from repro.ir.printer import print_module
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", help="MiniC source file")
+    parser.add_argument("--mode", choices=[HARDENED, RELAXED],
+                        default=HARDENED,
+                        help="analysis mode (default: hardened)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Privagic reproduction toolchain (MIDDLEWARE'24)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze",
+                             help="type-check and infer colors")
+    _add_common(analyze)
+
+    compile_cmd = sub.add_parser("compile",
+                                 help="partition into per-color modules")
+    _add_common(compile_cmd)
+    compile_cmd.add_argument("-o", "--output",
+                             help="directory for per-partition .ir files")
+
+    run = sub.add_parser("run", help="compile and execute")
+    _add_common(run)
+    run.add_argument("--entry", default="main",
+                     help="entry point (default: main)")
+    run.add_argument("args", nargs="*", type=int,
+                     help="integer arguments for the entry point")
+    return parser
+
+
+def cmd_analyze(options) -> int:
+    module = compile_source(_read(options.file),
+                            os.path.basename(options.file))
+    result = analyze_module(module, options.mode, check=False)
+    if result.errors:
+        for error in result.errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"analysis OK in {result.passes} pass(es); "
+          f"colors: {sorted(result.named_colors()) or '(none)'}")
+    for name in sorted(result.functions):
+        fa = result.functions[name]
+        print(f"  {name}: colorset={sorted(fa.color_set) or ['F']} "
+              f"returns={fa.return_color}")
+    return 0
+
+
+def cmd_compile(options) -> int:
+    compiler = PrivagicCompiler(mode=options.mode)
+    program = compiler.compile_source(_read(options.file),
+                                      os.path.basename(options.file))
+    for color in program.colors:
+        module = program.modules[color]
+        text = print_module(module)
+        if options.output:
+            os.makedirs(options.output, exist_ok=True)
+            path = os.path.join(options.output, f"{color}.ir")
+            with open(path, "w") as handle:
+                handle.write(text)
+            print(f"wrote {path} "
+                  f"({module.instruction_count()} instructions)")
+        else:
+            print(text)
+    return 0
+
+
+def cmd_run(options) -> int:
+    from repro.runtime import PrivagicRuntime
+    from repro.sgx import SGXAccessPolicy
+
+    compiler = PrivagicCompiler(mode=options.mode)
+    program = compiler.compile_source(_read(options.file),
+                                      os.path.basename(options.file))
+    runtime = PrivagicRuntime(program)
+    SGXAccessPolicy().attach(runtime.machine)
+    result = runtime.run(options.entry, options.args)
+    if runtime.machine.stdout:
+        sys.stdout.write(runtime.machine.stdout)
+    print(f"{options.entry}({', '.join(map(str, options.args))}) "
+          f"= {result}")
+    print(f"messages: {runtime.stats.as_dict()}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    options = build_parser().parse_args(argv)
+    handler = {"analyze": cmd_analyze, "compile": cmd_compile,
+               "run": cmd_run}[options.command]
+    try:
+        return handler(options)
+    except PrivagicError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""repro.core — the paper's contribution.
+
+* :mod:`repro.core.colors` — the color system of Table 2 (F, U, S and
+  named enclave colors) and the compatibility relation.
+* :mod:`repro.core.typesystem` — the secure type system of Table 3:
+  per-instruction rule checking, register-color inference and the
+  implicit-indirect-leak block coloring of Rule 4.
+* :mod:`repro.core.inference` — the stabilizing algorithm (§5.2) with
+  per-call-site function specialization (§6.2) and entry points.
+* :mod:`repro.core.structs` — allocation-site analysis and the
+  multi-color structure rewriting of §7.2.
+* :mod:`repro.core.globals_rewrite` — the shared-block rewriting of S
+  globals (§7.1).
+* :mod:`repro.core.partitioner` — chunk generation and call-site
+  rewriting (§7.3).
+* :mod:`repro.core.compiler` — the Privagic compiler driver (Figure 5).
+"""
+
+from repro.core.colors import (
+    F,
+    U,
+    S,
+    compatible,
+    is_free,
+    is_untrusted,
+    join,
+    untrusted_color,
+)
+from repro.core.analysis import AnalysisResult, analyze_module
+
+__all__ = [
+    "F", "U", "S",
+    "compatible", "is_free", "is_untrusted", "join", "untrusted_color",
+    "AnalysisResult", "analyze_module",
+]

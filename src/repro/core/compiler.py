@@ -1,0 +1,73 @@
+"""The Privagic compiler driver (paper Figure 5).
+
+Pipeline::
+
+    MiniC source ──(frontend)──► IR module with secure types
+        │
+        ├─ mem2reg                         (§5.1)
+        ├─ multi-color struct rewriting    (§7.2, relaxed mode only)
+        ├─ secure type analysis            (§6, stabilizing §5.2)
+        └─ partitioning                    (§7)
+                 │
+                 ▼
+    one module per color + interface functions + runtime metadata
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.analysis import AnalysisResult, analyze_module
+from repro.core.colors import HARDENED, RELAXED
+from repro.core.partition import PartitionedProgram, partition
+from repro.core.structs import rewrite_multicolor_structs
+from repro.ir.module import Module
+from repro.ir.passes import mem2reg
+
+
+class PrivagicCompiler:
+    """Compiles an IR module (or MiniC source) into a partitioned
+    program for the simulated SGX machine.
+
+    Parameters
+    ----------
+    mode:
+        ``"hardened"`` enforces confidentiality, integrity and Iago
+        protection; ``"relaxed"`` drops the Iago protection but allows
+        multi-color structures and F-value messaging (paper §5).
+    sync_barriers:
+        Generate the §7.3.3 synchronization barriers around visible
+        effects (on by default).
+    """
+
+    def __init__(self, mode: str = HARDENED, sync_barriers: bool = True):
+        self.mode = mode
+        self.sync_barriers = sync_barriers
+        self.analysis: Optional[AnalysisResult] = None
+
+    def compile_module(self, module: Module,
+                       entries: Optional[Sequence[str]] = None
+                       ) -> PartitionedProgram:
+        """Analyze and partition ``module`` (mutates it)."""
+        mem2reg(module)
+        rewrite_multicolor_structs(module, self.mode)
+        self.analysis = analyze_module(module, self.mode,
+                                       entries=entries)
+        return partition(self.analysis, self.sync_barriers)
+
+    def compile_source(self, source: str, module_name: str = "app",
+                       entries: Optional[Sequence[str]] = None
+                       ) -> PartitionedProgram:
+        """Compile MiniC source end to end."""
+        from repro.frontend import compile_source as frontend_compile
+        module = frontend_compile(source, module_name)
+        return self.compile_module(module, entries=entries)
+
+
+def compile_and_partition(source: str, mode: str = HARDENED,
+                          entries: Optional[Sequence[str]] = None,
+                          sync_barriers: bool = True
+                          ) -> PartitionedProgram:
+    """One-call convenience used by examples and tests."""
+    compiler = PrivagicCompiler(mode, sync_barriers)
+    return compiler.compile_source(source, entries=entries)

@@ -1,0 +1,20 @@
+"""repro.datastructures — the data structures of the §9.3 evaluation.
+
+A linked list, a red-black tree and a separate-chaining hashmap, all
+used as maps (key → value).  Every implementation counts its memory
+accesses through an :class:`~repro.datastructures.instrumented.AccessCounter`
+so the analytic access profiles feeding the cost model can be
+validated against reality (``benchmarks/bench_ablation_cachemodel.py``).
+"""
+
+from repro.datastructures.instrumented import AccessCounter
+from repro.datastructures.linkedlist import LinkedListMap
+from repro.datastructures.rbtree import RedBlackTreeMap
+from repro.datastructures.hashmap import ChainingHashMap
+
+__all__ = [
+    "AccessCounter",
+    "LinkedListMap",
+    "RedBlackTreeMap",
+    "ChainingHashMap",
+]

@@ -1,0 +1,144 @@
+"""A separate-chaining hashmap used as a map (§9.3).
+
+"The hashmap uses a separate chaining algorithm: it is designed as an
+array of linked lists, in which each linked list contains the keys
+that collide."  Access to the hashmap "only costs a few memory
+accesses", which is why the boundary-crossing cost dominates its
+protected configurations (§9.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.datastructures.instrumented import AccessCounter
+
+
+def _fnv_hash(key) -> int:
+    value = key if isinstance(key, int) else hash(key)
+    value &= (1 << 64) - 1
+    h = 0xcbf29ce484222325
+    for _ in range(8):
+        h ^= value & 0xff
+        h = (h * 0x100000001b3) & ((1 << 64) - 1)
+        value >>= 8
+    return h
+
+
+class _Entry:
+    __slots__ = ("key", "value", "next")
+
+    def __init__(self, key, value, next=None):
+        self.key = key
+        self.value = value
+        self.next = next
+
+
+class ChainingHashMap:
+    """Array of collision chains, with access counting."""
+
+    def __init__(self, buckets: int = 1024,
+                 counter: Optional[AccessCounter] = None,
+                 max_load: float = 4.0):
+        self._buckets: List[Optional[_Entry]] = [None] * buckets
+        self.size = 0
+        self.counter = counter or AccessCounter()
+        self.max_load = max_load
+
+    def _index(self, key) -> int:
+        return _fnv_hash(key) % len(self._buckets)
+
+    # -- map interface ---------------------------------------------------------------
+
+    def get(self, key):
+        self.counter.begin_op()
+        self.counter.touch()  # bucket head
+        entry = self._buckets[self._index(key)]
+        while entry is not None:
+            self.counter.touch()
+            if entry.key == key:
+                self.counter.copy_value()
+                self.counter.end_op()
+                return entry.value
+            entry = entry.next
+        self.counter.end_op()
+        return None
+
+    def put(self, key, value) -> None:
+        self.counter.begin_op()
+        index = self._index(key)
+        self.counter.touch()
+        entry = self._buckets[index]
+        while entry is not None:
+            self.counter.touch()
+            if entry.key == key:
+                entry.value = value
+                self.counter.copy_value()
+                self.counter.end_op()
+                return
+            entry = entry.next
+        self._buckets[index] = _Entry(key, value, self._buckets[index])
+        self.counter.touch()
+        self.counter.copy_value()
+        self.size += 1
+        if self.size > self.max_load * len(self._buckets):
+            self._grow()
+        self.counter.end_op()
+
+    def delete(self, key) -> bool:
+        self.counter.begin_op()
+        index = self._index(key)
+        self.counter.touch()
+        entry = self._buckets[index]
+        prev = None
+        while entry is not None:
+            self.counter.touch()
+            if entry.key == key:
+                if prev is None:
+                    self._buckets[index] = entry.next
+                else:
+                    prev.next = entry.next
+                self.size -= 1
+                self.counter.end_op()
+                return True
+            prev, entry = entry, entry.next
+        self.counter.end_op()
+        return False
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return self.size
+
+    def items(self) -> Iterator[Tuple[object, object]]:
+        for head in self._buckets:
+            entry = head
+            while entry is not None:
+                yield entry.key, entry.value
+                entry = entry.next
+
+    def load_factor(self) -> float:
+        return self.size / len(self._buckets)
+
+    def _grow(self) -> None:
+        old = self._buckets
+        self._buckets = [None] * (len(old) * 2)
+        size = self.size
+        for head in old:
+            entry = head
+            while entry is not None:
+                index = self._index(entry.key)
+                self._buckets[index] = _Entry(entry.key, entry.value,
+                                              self._buckets[index])
+                entry = entry.next
+        self.size = size
+
+    # -- analytic access profile ---------------------------------------------------------
+
+    @staticmethod
+    def expected_accesses(op: str, n: int, load: float = 1.0) -> float:
+        # bucket head + expected chain scan under the load factor
+        return 2.0 + load / 2.0
+
+    access_pattern = "zipfian"

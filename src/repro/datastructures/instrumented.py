@@ -1,0 +1,57 @@
+"""Memory-access instrumentation shared by the data structures.
+
+A *memory access* is one touched node or field group — roughly one
+cache line of structural data.  Value payloads are counted separately
+(``record_bytes / cache_line`` lines per copied value) because the
+1024-byte YCSB values dominate the line traffic of small-node
+structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class AccessCounter:
+    """Counts node/field accesses per operation class."""
+
+    def __init__(self):
+        self.node_accesses = 0
+        self.value_copies = 0
+        self.operations = 0
+        self.per_op_log: list = []
+        self._current = 0
+
+    def touch(self, n: int = 1) -> None:
+        self.node_accesses += n
+        self._current += n
+
+    def copy_value(self) -> None:
+        self.value_copies += 1
+
+    def begin_op(self) -> None:
+        self._current = 0
+
+    def end_op(self) -> None:
+        self.operations += 1
+        self.per_op_log.append(self._current)
+
+    def mean_accesses_per_op(self) -> float:
+        if not self.per_op_log:
+            return 0.0
+        return sum(self.per_op_log) / len(self.per_op_log)
+
+    def reset(self) -> None:
+        self.node_accesses = 0
+        self.value_copies = 0
+        self.operations = 0
+        self.per_op_log.clear()
+        self._current = 0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "operations": self.operations,
+            "node_accesses": self.node_accesses,
+            "value_copies": self.value_copies,
+            "mean_per_op": self.mean_accesses_per_op(),
+        }

@@ -1,0 +1,309 @@
+"""A red-black tree used as a map (the "treemap" of §9.3).
+
+Classic CLRS red-black tree with a nil sentinel.  Lookups visit about
+``1.39 · log2 n`` nodes; with the uniform YCSB pattern those visits
+scatter over the whole working set, producing the many LLC misses the
+paper blames for the treemap's large enclave-mode degradation
+(§9.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.datastructures.instrumented import AccessCounter
+
+RED = 0
+BLACK = 1
+
+
+class _Node:
+    __slots__ = ("key", "value", "color", "left", "right", "parent")
+
+    def __init__(self, key=None, value=None, color=BLACK):
+        self.key = key
+        self.value = value
+        self.color = color
+        self.left = self.right = self.parent = None
+
+
+class RedBlackTreeMap:
+    """CLRS red-black tree with access counting."""
+
+    def __init__(self, counter: Optional[AccessCounter] = None):
+        self.counter = counter or AccessCounter()
+        self.nil = _Node(color=BLACK)
+        self.nil.left = self.nil.right = self.nil.parent = self.nil
+        self.root = self.nil
+        self.size = 0
+
+    # -- queries -------------------------------------------------------------------
+
+    def get(self, key):
+        self.counter.begin_op()
+        node = self._find(key)
+        if node is self.nil:
+            self.counter.end_op()
+            return None
+        self.counter.copy_value()
+        self.counter.end_op()
+        return node.value
+
+    def __contains__(self, key) -> bool:
+        self.counter.begin_op()
+        found = self._find(key) is not self.nil
+        self.counter.end_op()
+        return found
+
+    def _find(self, key):
+        node = self.root
+        while node is not self.nil:
+            self.counter.touch()
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return self.nil
+
+    def __len__(self) -> int:
+        return self.size
+
+    def items(self) -> Iterator[Tuple[object, object]]:
+        def walk(node):
+            if node is self.nil:
+                return
+            yield from walk(node.left)
+            yield (node.key, node.value)
+            yield from walk(node.right)
+        yield from walk(self.root)
+
+    def black_height_valid(self) -> bool:
+        """Invariant check used by the property tests: every root-leaf
+        path has the same number of black nodes and no red node has a
+        red child."""
+        def check(node) -> int:
+            if node is self.nil:
+                return 1
+            if node.color == RED:
+                if node.left.color == RED or node.right.color == RED:
+                    raise AssertionError("red node with red child")
+            left = check(node.left)
+            right = check(node.right)
+            if left != right:
+                raise AssertionError("black-height mismatch")
+            return left + (1 if node.color == BLACK else 0)
+
+        if self.root.color != BLACK:
+            return False
+        try:
+            check(self.root)
+        except AssertionError:
+            return False
+        return True
+
+    # -- insertion --------------------------------------------------------------------
+
+    def put(self, key, value) -> None:
+        self.counter.begin_op()
+        parent = self.nil
+        node = self.root
+        while node is not self.nil:
+            self.counter.touch()
+            parent = node
+            if key == node.key:
+                node.value = value
+                self.counter.copy_value()
+                self.counter.end_op()
+                return
+            node = node.left if key < node.key else node.right
+        new = _Node(key, value, RED)
+        new.left = new.right = self.nil
+        new.parent = parent
+        self.counter.touch()
+        self.counter.copy_value()
+        if parent is self.nil:
+            self.root = new
+        elif key < parent.key:
+            parent.left = new
+        else:
+            parent.right = new
+        self.size += 1
+        self._insert_fixup(new)
+        self.counter.end_op()
+
+    def _rotate_left(self, x) -> None:
+        self.counter.touch(3)
+        y = x.right
+        x.right = y.left
+        if y.left is not self.nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self.nil:
+            self.root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x) -> None:
+        self.counter.touch(3)
+        y = x.left
+        x.left = y.right
+        if y.right is not self.nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self.nil:
+            self.root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _insert_fixup(self, z) -> None:
+        while z.parent.color == RED:
+            self.counter.touch()
+            if z.parent is z.parent.parent.left:
+                uncle = z.parent.parent.right
+                if uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                uncle = z.parent.parent.left
+                if uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_left(z.parent.parent)
+        self.root.color = BLACK
+
+    # -- deletion ----------------------------------------------------------------------
+
+    def delete(self, key) -> bool:
+        self.counter.begin_op()
+        z = self._find(key)
+        if z is self.nil:
+            self.counter.end_op()
+            return False
+        y = z
+        y_color = y.color
+        if z.left is self.nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is self.nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_color == BLACK:
+            self._delete_fixup(x)
+        self.size -= 1
+        self.counter.end_op()
+        return True
+
+    def _transplant(self, u, v) -> None:
+        self.counter.touch()
+        if u.parent is self.nil:
+            self.root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _minimum(self, node):
+        while node.left is not self.nil:
+            self.counter.touch()
+            node = node.left
+        return node
+
+    def _delete_fixup(self, x) -> None:
+        while x is not self.root and x.color == BLACK:
+            self.counter.touch()
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color == RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color == BLACK and w.right.color == BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color == BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._rotate_left(x.parent)
+                    x = self.root
+            else:
+                w = x.parent.left
+                if w.color == RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color == BLACK and w.left.color == BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color == BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._rotate_right(x.parent)
+                    x = self.root
+        x.color = BLACK
+
+    # -- analytic access profile ----------------------------------------------------------
+
+    @staticmethod
+    def expected_accesses(op: str, n: int) -> float:
+        import math
+        if n <= 1:
+            return 1.0
+        depth = 1.39 * math.log2(n)
+        if op in ("put", "insert", "update", "delete"):
+            return depth + 3.0  # fixup rotations
+        return depth
+
+    access_pattern = "uniform"

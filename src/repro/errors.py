@@ -1,0 +1,81 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by the library derives from :class:`PrivagicError`,
+so callers can catch a single base class.  The secure type system
+raises :class:`SecureTypeError` with a structured diagnostic (rule
+name, offending instruction, involved colors) because the paper's
+evaluation counts and classifies these errors.
+"""
+
+from __future__ import annotations
+
+
+class PrivagicError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class IRError(PrivagicError):
+    """Malformed IR: verifier failures, bad operand types, parse errors."""
+
+
+class FrontendError(PrivagicError):
+    """MiniC compilation error (lexing, parsing or semantic analysis)."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class SecureTypeError(PrivagicError):
+    """A violation of the secure typing rules (Table 3 of the paper).
+
+    Attributes
+    ----------
+    rule:
+        Short identifier of the violated rule, e.g. ``"store-color"``,
+        ``"load-pointer"``, ``"block-color"``, ``"union"``, ``"iago"``.
+    instruction:
+        Textual rendering of the offending IR instruction, if any.
+    colors:
+        The incompatible colors involved in the violation.
+    """
+
+    def __init__(self, rule: str, message: str, instruction: str = "",
+                 colors: tuple = ()):
+        self.rule = rule
+        self.instruction = instruction
+        self.colors = tuple(colors)
+        detail = f"[{rule}] {message}"
+        if instruction:
+            detail += f" (at: {instruction})"
+        super().__init__(detail)
+
+
+class PartitionError(PrivagicError):
+    """The partitioner cannot rewrite the program as requested.
+
+    Raised for instance in hardened mode when a missing chunk would
+    need an F argument computed by another enclave (paper §7.3.2), or
+    when multi-color structures are used in hardened mode (§8).
+    """
+
+
+class RuntimeFault(PrivagicError):
+    """A fault during simulated execution (bad address, SGX access
+    violation, deadlock in the worker/channel runtime)."""
+
+
+class SGXAccessViolation(RuntimeFault):
+    """The simulated processor attempted a forbidden memory access,
+    e.g. normal mode touching enclave memory, or enclave mode touching
+    a non-active enclave (paper §2.1)."""
+
+    def __init__(self, message: str, address: int = -1, mode: str = "",
+                 region: str = ""):
+        self.address = address
+        self.mode = mode
+        self.region = region
+        super().__init__(message)

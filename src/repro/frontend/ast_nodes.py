@@ -1,0 +1,320 @@
+"""MiniC abstract syntax tree.
+
+Nodes are plain dataclass-like records; type information is attached
+during code generation (MiniC is simple enough that a separate
+semantic-analysis pass is unnecessary — codegen checks as it goes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class Node:
+    """Base AST node with source position."""
+
+    def __init__(self, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        attrs = {k: v for k, v in self.__dict__.items()
+                 if k not in ("line", "column")}
+        inner = ", ".join(f"{k}={v!r}" for k, v in attrs.items())
+        return f"{type(self).__name__}({inner})"
+
+
+# -- type expressions -----------------------------------------------------------
+
+
+class TypeExpr(Node):
+    """A source-level type: base name + color + pointer depth + array.
+
+    ``base`` is one of "void", "char", "int", "long", "float",
+    "double" or ("struct", name).  ``color`` is the Privagic secure
+    type color or None.  ``pointer_depth`` counts ``*``; an inner
+    color applies to the pointee (``int color(blue)*`` is
+    pointer-to-blue-int, paper Fig 3b).
+    """
+
+    def __init__(self, base, color: Optional[str] = None,
+                 pointer_depth: int = 0,
+                 array_size: Optional[int] = None, **pos):
+        super().__init__(**pos)
+        self.base = base
+        self.color = color
+        self.pointer_depth = pointer_depth
+        self.array_size = array_size
+
+    def pointer_to(self) -> "TypeExpr":
+        return TypeExpr(self.base, self.color, self.pointer_depth + 1,
+                        self.array_size, line=self.line, column=self.column)
+
+
+class FuncPtrTypeExpr(Node):
+    """A function-pointer type: ``ret (*)(params)``."""
+
+    def __init__(self, ret: TypeExpr, params: Sequence[TypeExpr], **pos):
+        super().__init__(**pos)
+        self.ret = ret
+        self.params = list(params)
+        self.pointer_depth = 1
+        self.color = None
+        self.array_size = None
+
+
+# -- declarations -----------------------------------------------------------------
+
+
+class StructDecl(Node):
+    def __init__(self, name: str, fields: List[Tuple[TypeExpr, str]],
+                 **pos):
+        super().__init__(**pos)
+        self.name = name
+        self.fields = fields
+
+
+class UnionDecl(Node):
+    """Unions are parsed so Privagic can *reject* multi-color unions
+    (paper §4: a value may have at most one color)."""
+
+    def __init__(self, name: str, fields: List[Tuple[TypeExpr, str]],
+                 **pos):
+        super().__init__(**pos)
+        self.name = name
+        self.fields = fields
+
+
+class GlobalDecl(Node):
+    def __init__(self, type: TypeExpr, name: str,
+                 init: Optional["Expr"] = None, **pos):
+        super().__init__(**pos)
+        self.type = type
+        self.name = name
+        self.init = init
+
+
+class Param(Node):
+    def __init__(self, type: TypeExpr, name: str, **pos):
+        super().__init__(**pos)
+        self.type = type
+        self.name = name
+
+
+class FunctionDecl(Node):
+    """A function definition or extern declaration.
+
+    ``annotations`` holds the Privagic annotations present in the
+    source: subset of {"extern", "within", "ignore", "entry"}.
+    """
+
+    def __init__(self, ret: TypeExpr, name: str, params: List[Param],
+                 body: Optional["Block"], annotations: Sequence[str] = (),
+                 vararg: bool = False, **pos):
+        super().__init__(**pos)
+        self.ret = ret
+        self.name = name
+        self.params = params
+        self.body = body
+        self.annotations = set(annotations)
+        self.vararg = vararg
+
+
+class TranslationUnit(Node):
+    def __init__(self, decls: List[Node], **pos):
+        super().__init__(**pos)
+        self.decls = decls
+
+
+# -- statements ---------------------------------------------------------------------
+
+
+class Stmt(Node):
+    pass
+
+
+class Block(Stmt):
+    def __init__(self, statements: List[Stmt], **pos):
+        super().__init__(**pos)
+        self.statements = statements
+
+
+class VarDecl(Stmt):
+    def __init__(self, type: TypeExpr, name: str,
+                 init: Optional["Expr"] = None, **pos):
+        super().__init__(**pos)
+        self.type = type
+        self.name = name
+        self.init = init
+
+
+class ExprStmt(Stmt):
+    def __init__(self, expr: "Expr", **pos):
+        super().__init__(**pos)
+        self.expr = expr
+
+
+class If(Stmt):
+    def __init__(self, cond: "Expr", then: Stmt,
+                 orelse: Optional[Stmt] = None, **pos):
+        super().__init__(**pos)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class While(Stmt):
+    def __init__(self, cond: "Expr", body: Stmt, **pos):
+        super().__init__(**pos)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    def __init__(self, body: Stmt, cond: "Expr", **pos):
+        super().__init__(**pos)
+        self.body = body
+        self.cond = cond
+
+
+class For(Stmt):
+    def __init__(self, init: Optional[Stmt], cond: Optional["Expr"],
+                 step: Optional["Expr"], body: Stmt, **pos):
+        super().__init__(**pos)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Stmt):
+    def __init__(self, value: Optional["Expr"] = None, **pos):
+        super().__init__(**pos)
+        self.value = value
+
+
+class Break(Stmt):
+    pass
+
+
+class Continue(Stmt):
+    pass
+
+
+# -- expressions ------------------------------------------------------------------------
+
+
+class Expr(Node):
+    pass
+
+
+class IntLiteral(Expr):
+    def __init__(self, value: int, **pos):
+        super().__init__(**pos)
+        self.value = value
+
+
+class FloatLiteral(Expr):
+    def __init__(self, value: float, **pos):
+        super().__init__(**pos)
+        self.value = value
+
+
+class StringLiteral(Expr):
+    def __init__(self, value: str, **pos):
+        super().__init__(**pos)
+        self.value = value
+
+
+class Identifier(Expr):
+    def __init__(self, name: str, **pos):
+        super().__init__(**pos)
+        self.name = name
+
+
+class Binary(Expr):
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, **pos):
+        super().__init__(**pos)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Unary(Expr):
+    """Prefix unary: ``-``, ``!``, ``~``, ``*`` (deref), ``&``
+    (address-of), ``++``, ``--``."""
+
+    def __init__(self, op: str, operand: Expr, **pos):
+        super().__init__(**pos)
+        self.op = op
+        self.operand = operand
+
+
+class Postfix(Expr):
+    """Postfix ``++`` / ``--``."""
+
+    def __init__(self, op: str, operand: Expr, **pos):
+        super().__init__(**pos)
+        self.op = op
+        self.operand = operand
+
+
+class Assign(Expr):
+    """``target = value`` or compound (``+=`` etc., op holds "+" etc.)."""
+
+    def __init__(self, target: Expr, value: Expr,
+                 op: Optional[str] = None, **pos):
+        super().__init__(**pos)
+        self.target = target
+        self.value = value
+        self.op = op
+
+
+class Conditional(Expr):
+    def __init__(self, cond: Expr, then: Expr, orelse: Expr, **pos):
+        super().__init__(**pos)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class CallExpr(Expr):
+    def __init__(self, callee: Expr, args: List[Expr], **pos):
+        super().__init__(**pos)
+        self.callee = callee
+        self.args = args
+
+
+class Index(Expr):
+    def __init__(self, base: Expr, index: Expr, **pos):
+        super().__init__(**pos)
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    def __init__(self, base: Expr, field: str, arrow: bool, **pos):
+        super().__init__(**pos)
+        self.base = base
+        self.field = field
+        self.arrow = arrow
+
+
+class CastExpr(Expr):
+    def __init__(self, type: TypeExpr, operand: Expr, **pos):
+        super().__init__(**pos)
+        self.type = type
+        self.operand = operand
+
+
+class SizeofExpr(Expr):
+    """``sizeof(T)`` or ``sizeof(*expr)``; resolved to slot counts (the
+    interpreter ABI)."""
+
+    def __init__(self, type: Optional[TypeExpr] = None,
+                 operand: Optional[Expr] = None, **pos):
+        super().__init__(**pos)
+        self.type = type
+        self.operand = operand

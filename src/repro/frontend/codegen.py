@@ -1,0 +1,900 @@
+"""MiniC code generation: AST → repro IR.
+
+The lowering mirrors clang's: every local variable becomes an
+``alloca`` (later promoted by ``mem2reg`` unless its address is taken
+or it carries an explicit color), reads load, writes store, struct and
+array accesses become GEPs, and the ``color`` qualifier is carried on
+the IR types — the Privagic analyses only ever see the IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FrontendError, SecureTypeError
+from repro.frontend import ast_nodes as ast
+from repro.ir import (
+    ArrayType,
+    BasicBlock,
+    Constant,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    IRBuilder,
+    IRType,
+    Module,
+    PointerType,
+    StructField,
+    StructType,
+    F32,
+    F64,
+    I1,
+    I8,
+    I32,
+    I64,
+    VOID,
+)
+from repro.ir.types import FloatType, IntType
+
+_BASE_TYPES: Dict[str, IRType] = {
+    "void": VOID,
+    "char": I8,
+    "int": I32,
+    "long": I64,
+    "float": F32,
+    "double": F64,
+}
+
+#: Functions auto-declared on first use (the mini-libc of the
+#: interpreter; see repro.ir.interp.DEFAULT_EXTERNALS).
+_BUILTIN_SIGNATURES: Dict[str, FunctionType] = {
+    "malloc": FunctionType(PointerType(I8), [I64]),
+    "__privagic_alloc": FunctionType(PointerType(I8),
+                                     [PointerType(I8), I64]),
+    "free": FunctionType(VOID, [PointerType(I8)]),
+    "memcpy": FunctionType(PointerType(I8),
+                           [PointerType(I8), PointerType(I8), I64]),
+    "memset": FunctionType(PointerType(I8), [PointerType(I8), I32, I64]),
+    "strncpy": FunctionType(PointerType(I8),
+                            [PointerType(I8), PointerType(I8), I64]),
+    "strlen": FunctionType(I64, [PointerType(I8)]),
+    "strcmp": FunctionType(I32, [PointerType(I8), PointerType(I8)]),
+    "printf": FunctionType(I32, [PointerType(I8)], vararg=True),
+    "puts": FunctionType(I32, [PointerType(I8)]),
+    "putchar": FunctionType(I32, [I32]),
+    "abort": FunctionType(VOID, []),
+    "thread_create": FunctionType(I64, [PointerType(I8), I64]),
+    "thread_join": FunctionType(VOID, [I64]),
+    "mutex_lock": FunctionType(I32, [I64]),
+    "mutex_unlock": FunctionType(I32, [I64]),
+    "hash64": FunctionType(I64, [I64]),
+}
+
+
+class _Scope:
+    """Lexical scope mapping names to lvalue pointers."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.vars: Dict[str, object] = {}
+
+    def lookup(self, name: str):
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+    def define(self, name: str, value) -> None:
+        self.vars[name] = value
+
+
+class CodeGenerator:
+    """Generates one IR module from one translation unit."""
+
+    def __init__(self, module_name: str = "minic"):
+        self.module = Module(module_name)
+        self._string_counter = 0
+        # per-function state
+        self.builder: Optional[IRBuilder] = None
+        self.function: Optional[Function] = None
+        self.scope: Optional[_Scope] = None
+        self._loop_stack: List[Tuple[BasicBlock, BasicBlock]] = []
+
+    # -- entry point --------------------------------------------------------------
+
+    def generate(self, unit: ast.TranslationUnit) -> Module:
+        structs = [d for d in unit.decls
+                   if isinstance(d, (ast.StructDecl, ast.UnionDecl))]
+        functions = [d for d in unit.decls
+                     if isinstance(d, ast.FunctionDecl)]
+        globals_ = [d for d in unit.decls if isinstance(d, ast.GlobalDecl)]
+
+        # Forward-declare all struct names so fields may reference them.
+        for decl in structs:
+            self.module.add_struct(StructType(decl.name))
+        for decl in structs:
+            self._define_record(decl)
+        for decl in globals_:
+            self._define_global(decl)
+        for decl in functions:
+            self._declare_function(decl)
+        for decl in functions:
+            if decl.body is not None:
+                self._define_function(decl)
+        return self.module
+
+    # -- types ----------------------------------------------------------------------
+
+    def resolve_type(self, expr) -> IRType:
+        if isinstance(expr, ast.FuncPtrTypeExpr):
+            ret = self.resolve_type(expr.ret)
+            params = [self.resolve_type(p) for p in expr.params]
+            return PointerType(FunctionType(ret, params))
+        base = expr.base
+        if isinstance(base, tuple):
+            kind, name = base
+            if name not in self.module.structs:
+                raise FrontendError(f"unknown {kind} {name!r}",
+                                    expr.line, expr.column)
+            ir_type: IRType = self.module.structs[name]
+            if expr.color is not None:
+                # Color the whole record: color every field (used for
+                # single-color data structures, paper §9.3).
+                ir_type = self._colored_struct(ir_type, expr.color)
+        else:
+            try:
+                ir_type = _BASE_TYPES[base]
+            except KeyError:
+                raise FrontendError(f"unknown type {base!r}",
+                                    expr.line, expr.column)
+            if expr.color is not None:
+                ir_type = ir_type.with_color(expr.color)
+        if expr.pointer_depth:
+            if ir_type is VOID:
+                ir_type = I8  # void* is i8*
+            for _ in range(expr.pointer_depth):
+                ir_type = PointerType(ir_type)
+        if expr.array_size is not None:
+            ir_type = ArrayType(ir_type, expr.array_size)
+        return ir_type
+
+    def _colored_struct(self, struct: StructType, color: str) -> StructType:
+        name = f"{struct.name}.{color}"
+        if name in self.module.structs:
+            return self.module.structs[name]
+        colored = StructType(name)
+        self.module.add_struct(colored)
+        colored.set_body([
+            StructField(f.name, self._color_field_type(f.type, color))
+            for f in struct.fields])
+        return colored
+
+    def _color_field_type(self, type: IRType, color: str) -> IRType:
+        if isinstance(type, PointerType):
+            return PointerType(self._color_field_type(type.pointee, color))
+        if isinstance(type, StructType):
+            return self._colored_struct(type, color)
+        if type.color is not None and type.color != color:
+            raise SecureTypeError(
+                "union", f"field already colored {type.color}, cannot "
+                         f"recolor {color}")
+        return type.with_color(color)
+
+    # -- records ----------------------------------------------------------------------
+
+    def _define_record(self, decl) -> None:
+        fields = [StructField(name, self.resolve_type(ftype))
+                  for ftype, name in decl.fields]
+        if isinstance(decl, ast.UnionDecl):
+            colors = {f.type.color for f in fields
+                      if f.type.color is not None}
+            if len(colors) >= 2:
+                # Paper §4: a memory location has at most one color; a
+                # union with differently colored fields is rejected.
+                raise SecureTypeError(
+                    "union",
+                    f"union {decl.name} mixes colors {sorted(colors)}")
+        self.module.structs[decl.name].set_body(fields)
+
+    # -- globals -----------------------------------------------------------------------
+
+    def _define_global(self, decl: ast.GlobalDecl) -> None:
+        vtype = self.resolve_type(decl.type)
+        init = None
+        if decl.init is not None:
+            init = self._constant_initializer(decl.init, vtype)
+        self.module.add_global(GlobalVariable(decl.name, vtype, init))
+
+    def _constant_initializer(self, expr: ast.Expr,
+                              vtype: IRType) -> Constant:
+        if isinstance(expr, ast.IntLiteral):
+            return Constant(vtype, expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return Constant(vtype, expr.value)
+        if isinstance(expr, ast.StringLiteral):
+            return Constant(vtype, expr.value)
+        if isinstance(expr, ast.Unary) and expr.op == "-" and \
+                isinstance(expr.operand, (ast.IntLiteral, ast.FloatLiteral)):
+            return Constant(vtype, -expr.operand.value)
+        raise FrontendError("global initializer must be a literal",
+                            expr.line, expr.column)
+
+    # -- functions ----------------------------------------------------------------------
+
+    def _declare_function(self, decl: ast.FunctionDecl) -> None:
+        ret = self.resolve_type(decl.ret)
+        params = [self.resolve_type(p.type) for p in decl.params]
+        ftype = FunctionType(ret, params, decl.vararg)
+        existing = self.module.functions.get(decl.name)
+        if existing is not None:
+            if existing.ftype != ftype and existing.ftype.strip_color() \
+                    != ftype.strip_color():
+                raise FrontendError(
+                    f"conflicting declarations of {decl.name}",
+                    decl.line, decl.column)
+            existing.attributes |= decl.annotations
+            return
+        fn = Function(decl.name, ftype, [p.name for p in decl.params],
+                      decl.annotations)
+        self.module.add_function(fn)
+
+    def _define_function(self, decl: ast.FunctionDecl) -> None:
+        fn = self.module.get_function(decl.name)
+        self.function = fn
+        self.scope = _Scope()
+        self._loop_stack = []
+        entry = fn.add_block("entry")
+        self.builder = IRBuilder(entry)
+
+        # Spill parameters into allocas (clang-style); mem2reg promotes
+        # the ones whose address is never taken.
+        for arg in fn.args:
+            slot = self.builder.alloca(arg.type, f"{arg.name}.addr")
+            self.builder.store(arg, slot)
+            self.scope.define(arg.name, slot)
+
+        self._gen_block(decl.body)
+
+        if self.builder.block is not None and not self.builder.block.is_terminated:
+            ret_type = fn.ftype.ret
+            if ret_type == VOID:
+                self.builder.ret()
+            else:
+                self.builder.ret(self._zero_of(ret_type))
+        # Blocks created for dead code (e.g. after a return) may lack
+        # terminators; seal them.
+        for block in fn.blocks:
+            if not block.is_terminated:
+                temp = IRBuilder(block)
+                if fn.ftype.ret == VOID:
+                    temp.ret()
+                else:
+                    temp.ret(self._zero_of(fn.ftype.ret))
+        self.function = None
+        self.builder = None
+        self.scope = None
+
+    def _zero_of(self, type: IRType) -> Constant:
+        if isinstance(type, FloatType):
+            return Constant(type.strip_color(), 0.0)
+        return Constant(type.strip_color() if not isinstance(
+            type, PointerType) else type, 0)
+
+    # -- statements ------------------------------------------------------------------------
+
+    def _gen_block(self, block: ast.Block) -> None:
+        self.scope = _Scope(self.scope)
+        for stmt in block.statements:
+            self._gen_statement(stmt)
+        self.scope = self.scope.parent
+
+    def _gen_statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._gen_var_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_rvalue(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._gen_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self._gen_break(stmt)
+        elif isinstance(stmt, ast.Continue):
+            self._gen_continue(stmt)
+        else:
+            raise FrontendError(f"cannot generate {type(stmt).__name__}",
+                                stmt.line, stmt.column)
+
+    def _gen_var_decl(self, stmt: ast.VarDecl) -> None:
+        vtype = self.resolve_type(stmt.type)
+        slot = self.builder.alloca(vtype, stmt.name)
+        self.scope.define(stmt.name, slot)
+        if stmt.init is not None:
+            value = self._gen_rvalue(stmt.init)
+            self.builder.store(self._coerce(value, vtype, stmt), slot)
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        cond = self._gen_condition(stmt.cond)
+        fn = self.function
+        then_block = fn.add_block("if.then")
+        merge_block = fn.add_block("if.end")
+        else_block = fn.add_block("if.else") if stmt.orelse else merge_block
+        self.builder.branch(cond, then_block, else_block)
+
+        self.builder.position_at_end(then_block)
+        self._gen_statement(stmt.then)
+        if not self.builder.block.is_terminated:
+            self.builder.jump(merge_block)
+
+        if stmt.orelse is not None:
+            self.builder.position_at_end(else_block)
+            self._gen_statement(stmt.orelse)
+            if not self.builder.block.is_terminated:
+                self.builder.jump(merge_block)
+
+        self.builder.position_at_end(merge_block)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        fn = self.function
+        cond_block = fn.add_block("while.cond")
+        body_block = fn.add_block("while.body")
+        end_block = fn.add_block("while.end")
+        self.builder.jump(cond_block)
+
+        self.builder.position_at_end(cond_block)
+        cond = self._gen_condition(stmt.cond)
+        self.builder.branch(cond, body_block, end_block)
+
+        self.builder.position_at_end(body_block)
+        self._loop_stack.append((end_block, cond_block))
+        self._gen_statement(stmt.body)
+        self._loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.jump(cond_block)
+
+        self.builder.position_at_end(end_block)
+
+    def _gen_do_while(self, stmt: ast.DoWhile) -> None:
+        fn = self.function
+        body_block = fn.add_block("do.body")
+        cond_block = fn.add_block("do.cond")
+        end_block = fn.add_block("do.end")
+        self.builder.jump(body_block)
+
+        self.builder.position_at_end(body_block)
+        self._loop_stack.append((end_block, cond_block))
+        self._gen_statement(stmt.body)
+        self._loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.jump(cond_block)
+
+        self.builder.position_at_end(cond_block)
+        cond = self._gen_condition(stmt.cond)
+        self.builder.branch(cond, body_block, end_block)
+
+        self.builder.position_at_end(end_block)
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        fn = self.function
+        self.scope = _Scope(self.scope)
+        if stmt.init is not None:
+            self._gen_statement(stmt.init)
+        cond_block = fn.add_block("for.cond")
+        body_block = fn.add_block("for.body")
+        step_block = fn.add_block("for.step")
+        end_block = fn.add_block("for.end")
+        self.builder.jump(cond_block)
+
+        self.builder.position_at_end(cond_block)
+        if stmt.cond is not None:
+            cond = self._gen_condition(stmt.cond)
+            self.builder.branch(cond, body_block, end_block)
+        else:
+            self.builder.jump(body_block)
+
+        self.builder.position_at_end(body_block)
+        self._loop_stack.append((end_block, step_block))
+        self._gen_statement(stmt.body)
+        self._loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.jump(step_block)
+
+        self.builder.position_at_end(step_block)
+        if stmt.step is not None:
+            self._gen_rvalue(stmt.step)
+        self.builder.jump(cond_block)
+
+        self.builder.position_at_end(end_block)
+        self.scope = self.scope.parent
+
+    def _gen_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            self.builder.ret()
+        else:
+            value = self._gen_rvalue(stmt.value)
+            value = self._coerce(value, self.function.ftype.ret, stmt)
+            self.builder.ret(value)
+        # Subsequent statements in this block are dead; give them a
+        # fresh (unreachable) block.
+        self.builder.position_at_end(self.function.add_block("dead"))
+
+    def _gen_break(self, stmt: ast.Break) -> None:
+        if not self._loop_stack:
+            raise FrontendError("break outside a loop", stmt.line,
+                                stmt.column)
+        self.builder.jump(self._loop_stack[-1][0])
+        self.builder.position_at_end(self.function.add_block("dead"))
+
+    def _gen_continue(self, stmt: ast.Continue) -> None:
+        if not self._loop_stack:
+            raise FrontendError("continue outside a loop", stmt.line,
+                                stmt.column)
+        self.builder.jump(self._loop_stack[-1][1])
+        self.builder.position_at_end(self.function.add_block("dead"))
+
+    # -- expressions: lvalues ------------------------------------------------------------------
+
+    def _gen_lvalue(self, expr: ast.Expr):
+        if isinstance(expr, ast.Identifier):
+            slot = self.scope.lookup(expr.name)
+            if slot is not None:
+                return slot
+            gv = self.module.globals.get(expr.name)
+            if gv is not None:
+                return gv
+            raise FrontendError(f"undefined variable {expr.name!r}",
+                                expr.line, expr.column)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self._gen_rvalue(expr.operand)
+        if isinstance(expr, ast.Index):
+            return self._gen_index_ptr(expr)
+        if isinstance(expr, ast.Member):
+            return self._gen_member_ptr(expr)
+        raise FrontendError("expression is not assignable",
+                            expr.line, expr.column)
+
+    def _gen_index_ptr(self, expr: ast.Index):
+        index = self._gen_rvalue(expr.index)
+        base_type = self._type_of(expr.base)
+        if isinstance(base_type, ArrayType):
+            base_ptr = self._gen_lvalue(expr.base)
+            return self.builder.gep(base_ptr,
+                                    [self.builder.const_int(0), index])
+        base = self._gen_rvalue(expr.base)
+        if not isinstance(base.type, PointerType):
+            raise FrontendError("cannot index a non-pointer",
+                                expr.line, expr.column)
+        return self.builder.gep(base, [index])
+
+    def _gen_member_ptr(self, expr: ast.Member):
+        if expr.arrow:
+            base_ptr = self._gen_rvalue(expr.base)
+        else:
+            base_ptr = self._gen_lvalue(expr.base)
+        pointee = base_ptr.type.pointee
+        if not isinstance(pointee, StructType):
+            raise FrontendError(
+                f"member access on non-struct {pointee}",
+                expr.line, expr.column)
+        index = pointee.field_index(expr.field)
+        return self.builder.struct_field_ptr(base_ptr, index)
+
+    # -- expressions: rvalues --------------------------------------------------------------------
+
+    def _gen_rvalue(self, expr: ast.Expr):
+        if isinstance(expr, ast.IntLiteral):
+            return self.builder.const_int(expr.value,
+                                          I64 if expr.value > 2**31 else I32)
+        if isinstance(expr, ast.FloatLiteral):
+            return self.builder.const_float(expr.value)
+        if isinstance(expr, ast.StringLiteral):
+            return self._gen_string(expr.value)
+        if isinstance(expr, ast.Identifier):
+            return self._gen_identifier(expr)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Postfix):
+            return self._gen_postfix(expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._gen_conditional(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self._gen_call(expr)
+        if isinstance(expr, (ast.Index, ast.Member)):
+            ptr = self._gen_lvalue(expr)
+            if isinstance(ptr.type.pointee, ArrayType):
+                # Arrays decay to element pointers.
+                return self.builder.gep(
+                    ptr, [self.builder.const_int(0),
+                          self.builder.const_int(0)])
+            return self.builder.load(ptr)
+        if isinstance(expr, ast.CastExpr):
+            return self._gen_cast(expr)
+        if isinstance(expr, ast.SizeofExpr):
+            return self._gen_sizeof(expr)
+        raise FrontendError(f"cannot generate {type(expr).__name__}",
+                            expr.line, expr.column)
+
+    def _gen_string(self, text: str):
+        name = f".str{self._string_counter}"
+        self._string_counter += 1
+        arr_type = ArrayType(I8, len(text) + 1)
+        gv = self.module.add_global(
+            GlobalVariable(name, arr_type, Constant(arr_type, text)))
+        zero = self.builder.const_int(0)
+        return self.builder.gep(gv, [zero, zero])
+
+    def _gen_identifier(self, expr: ast.Identifier):
+        slot = self.scope.lookup(expr.name)
+        if slot is None:
+            gv = self.module.globals.get(expr.name)
+            if gv is not None:
+                slot = gv
+            else:
+                fn = self.module.functions.get(expr.name) or \
+                    self._auto_declare(expr.name)
+                if fn is not None:
+                    return fn
+                raise FrontendError(f"undefined variable {expr.name!r}",
+                                    expr.line, expr.column)
+        if isinstance(slot.type.pointee, ArrayType):
+            zero = self.builder.const_int(0)
+            return self.builder.gep(slot, [zero, zero])
+        return self.builder.load(slot)
+
+    def _gen_unary(self, expr: ast.Unary):
+        op = expr.op
+        if op == "&":
+            return self._gen_lvalue(expr.operand)
+        if op == "*":
+            ptr = self._gen_rvalue(expr.operand)
+            if not isinstance(ptr.type, PointerType):
+                raise FrontendError("cannot dereference a non-pointer",
+                                    expr.line, expr.column)
+            return self.builder.load(ptr)
+        if op in ("++", "--"):
+            ptr = self._gen_lvalue(expr.operand)
+            old = self.builder.load(ptr)
+            delta = self.builder.const_int(1, old.type if isinstance(
+                old.type, IntType) else I32)
+            new = self.builder.binop("add" if op == "++" else "sub",
+                                     old, delta)
+            self.builder.store(new, ptr)
+            return new
+        operand = self._gen_rvalue(expr.operand)
+        if op == "-":
+            if isinstance(operand.type, FloatType):
+                return self.builder.binop(
+                    "fsub", self.builder.const_float(0.0, operand.type),
+                    operand)
+            return self.builder.sub(
+                Constant(operand.type.strip_color(), 0), operand)
+        if op == "!":
+            as_bool = self._to_bool(operand)
+            return self.builder.cmp("eq", as_bool,
+                                    self.builder.const_bool(False))
+        if op == "~":
+            return self.builder.binop(
+                "xor", operand, Constant(operand.type.strip_color(), -1))
+        raise FrontendError(f"unsupported unary {op!r}",
+                            expr.line, expr.column)
+
+    def _gen_postfix(self, expr: ast.Postfix):
+        ptr = self._gen_lvalue(expr.operand)
+        old = self.builder.load(ptr)
+        delta = Constant(old.type.strip_color()
+                         if isinstance(old.type, IntType) else I32, 1)
+        new = self.builder.binop("add" if expr.op == "++" else "sub",
+                                 old, delta)
+        self.builder.store(new, ptr)
+        return old
+
+    _CMP_MAP = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle",
+                ">": "sgt", ">=": "sge"}
+    _ARITH_MAP = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv",
+                  "%": "srem", "&": "and", "|": "or", "^": "xor",
+                  "<<": "shl", ">>": "ashr"}
+
+    def _gen_binary(self, expr: ast.Binary):
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._gen_short_circuit(expr)
+        lhs = self._gen_rvalue(expr.lhs)
+        rhs = self._gen_rvalue(expr.rhs)
+        if op in self._CMP_MAP:
+            lhs, rhs = self._unify(lhs, rhs, expr)
+            predicate = self._CMP_MAP[op]
+            if isinstance(lhs.type, FloatType):
+                predicate = "f" + predicate.lstrip("s")
+            return self.builder.cmp(predicate, lhs, rhs)
+        # Pointer arithmetic: p + n / p - n become GEPs.
+        if isinstance(lhs.type, PointerType) and op in ("+", "-"):
+            if op == "-" and isinstance(rhs.type, PointerType):
+                a = self.builder.cast("ptrtoint", lhs, I64)
+                b = self.builder.cast("ptrtoint", rhs, I64)
+                return self.builder.sub(a, b)
+            offset = rhs
+            if op == "-":
+                offset = self.builder.sub(
+                    Constant(rhs.type.strip_color(), 0), rhs)
+            return self.builder.gep(lhs, [offset])
+        if op not in self._ARITH_MAP:
+            raise FrontendError(f"unsupported operator {op!r}",
+                                expr.line, expr.column)
+        lhs, rhs = self._unify(lhs, rhs, expr)
+        ir_op = self._ARITH_MAP[op]
+        if isinstance(lhs.type, FloatType):
+            float_map = {"add": "fadd", "sub": "fsub", "mul": "fmul",
+                         "sdiv": "fdiv"}
+            if ir_op not in float_map:
+                raise FrontendError(f"operator {op!r} on floats",
+                                    expr.line, expr.column)
+            ir_op = float_map[ir_op]
+        return self.builder.binop(ir_op, lhs, rhs)
+
+    def _gen_short_circuit(self, expr: ast.Binary):
+        fn = self.function
+        rhs_block = fn.add_block("sc.rhs")
+        merge_block = fn.add_block("sc.end")
+        lhs = self._to_bool(self._gen_rvalue(expr.lhs))
+        lhs_block = self.builder.block
+        if expr.op == "&&":
+            self.builder.branch(lhs, rhs_block, merge_block)
+        else:
+            self.builder.branch(lhs, merge_block, rhs_block)
+
+        self.builder.position_at_end(rhs_block)
+        rhs = self._to_bool(self._gen_rvalue(expr.rhs))
+        rhs_end = self.builder.block
+        self.builder.jump(merge_block)
+
+        self.builder.position_at_end(merge_block)
+        phi = self.builder.phi(I1)
+        phi.add_incoming(self.builder.const_bool(expr.op == "||"),
+                         lhs_block)
+        phi.add_incoming(rhs, rhs_end)
+        return phi
+
+    def _gen_assign(self, expr: ast.Assign):
+        ptr = self._gen_lvalue(expr.target)
+        if expr.op is not None:
+            synthetic = ast.Binary(expr.op, expr.target, expr.value,
+                                   line=expr.line, column=expr.column)
+            value = self._gen_binary(synthetic)
+        else:
+            value = self._gen_rvalue(expr.value)
+        value = self._coerce(value, ptr.type.pointee, expr)
+        self.builder.store(value, ptr)
+        return value
+
+    def _gen_conditional(self, expr: ast.Conditional):
+        fn = self.function
+        then_block = fn.add_block("cond.then")
+        else_block = fn.add_block("cond.else")
+        merge_block = fn.add_block("cond.end")
+        cond = self._gen_condition(expr.cond)
+        self.builder.branch(cond, then_block, else_block)
+
+        self.builder.position_at_end(then_block)
+        then_value = self._gen_rvalue(expr.then)
+        then_end = self.builder.block
+        self.builder.jump(merge_block)
+
+        self.builder.position_at_end(else_block)
+        else_value = self._gen_rvalue(expr.orelse)
+        else_value = self._coerce(else_value, then_value.type, expr)
+        else_end = self.builder.block
+        self.builder.jump(merge_block)
+
+        self.builder.position_at_end(merge_block)
+        phi = self.builder.phi(then_value.type)
+        phi.add_incoming(then_value, then_end)
+        phi.add_incoming(else_value, else_end)
+        return phi
+
+    def _gen_call(self, expr: ast.CallExpr):
+        args = [self._gen_rvalue(a) for a in expr.args]
+        callee = None
+        if isinstance(expr.callee, ast.Identifier):
+            name = expr.callee.name
+            callee = self.module.functions.get(name) or \
+                self._auto_declare(name)
+            if callee is None:
+                # Maybe a function-pointer variable.
+                slot = self.scope.lookup(name) or \
+                    self.module.globals.get(name)
+                if slot is not None:
+                    callee = self.builder.load(slot)
+        if callee is None:
+            callee = self._gen_rvalue(expr.callee)
+        ftype = callee.type.pointee if isinstance(
+            callee.type, PointerType) else callee.type
+        if not isinstance(ftype, FunctionType):
+            raise FrontendError("calling a non-function",
+                                expr.line, expr.column)
+        fixed = len(ftype.params)
+        if len(args) < fixed or (len(args) > fixed and not ftype.vararg):
+            raise FrontendError(
+                f"call expects {fixed} arguments, got {len(args)}",
+                expr.line, expr.column)
+        coerced = [self._coerce(a, t, expr)
+                   for a, t in zip(args, ftype.params)]
+        coerced.extend(args[fixed:])
+        return self.builder.call(callee, coerced)
+
+    def _auto_declare(self, name: str) -> Optional[Function]:
+        sig = _BUILTIN_SIGNATURES.get(name)
+        if sig is None:
+            return None
+        fn = Function(name, sig, attributes=["extern"])
+        if name in ("malloc", "__privagic_alloc", "free", "memcpy",
+                    "memset", "strncpy", "strlen", "strcmp", "hash64"):
+            # The mini-libc shipped inside every enclave (paper §6.3).
+            fn.attributes.add("within")
+        self.module.add_function(fn)
+        return fn
+
+    def _gen_cast(self, expr: ast.CastExpr):
+        value = self._gen_rvalue(expr.operand)
+        to_type = self.resolve_type(expr.type)
+        return self._coerce(value, to_type, expr, explicit=True)
+
+    def _gen_sizeof(self, expr: ast.SizeofExpr):
+        if expr.type is not None:
+            size = self.resolve_type(expr.type).size_slots()
+        else:
+            operand_type = self._type_of(expr.operand)
+            size = operand_type.size_slots()
+        return self.builder.const_i64(size)
+
+    # -- helpers ------------------------------------------------------------------------------------
+
+    def _gen_condition(self, expr: ast.Expr):
+        return self._to_bool(self._gen_rvalue(expr))
+
+    def _to_bool(self, value):
+        if isinstance(value.type, IntType) and value.type.bits == 1:
+            return value
+        if isinstance(value.type, FloatType):
+            return self.builder.cmp("fne", value,
+                                    self.builder.const_float(0.0))
+        zero = Constant(value.type.strip_color() if not isinstance(
+            value.type, PointerType) else value.type, 0)
+        if isinstance(value.type, PointerType):
+            zero = Constant(I64, 0)
+            value = self.builder.cast("ptrtoint", value, I64)
+        return self.builder.cmp("ne", value, zero)
+
+    def _unify(self, lhs, rhs, expr):
+        """Apply the usual arithmetic conversions to a pair of values."""
+        lt, rt = lhs.type, rhs.type
+        if isinstance(lt, PointerType) and isinstance(rt, PointerType):
+            return lhs, rhs
+        if isinstance(lt, PointerType):
+            return lhs, self._coerce(rhs, I64, expr)
+        if isinstance(rt, PointerType):
+            return self._coerce(lhs, I64, expr), rhs
+        if isinstance(lt, FloatType) or isinstance(rt, FloatType):
+            target = F64
+            return (self._coerce(lhs, target, expr),
+                    self._coerce(rhs, target, expr))
+        bits = max(lt.bits, rt.bits)
+        target = IntType(bits)
+        return (self._coerce(lhs, target, expr),
+                self._coerce(rhs, target, expr))
+
+    def _coerce(self, value, to_type: IRType, node,
+                explicit: bool = False):
+        """Convert ``value`` to ``to_type``, inserting casts as needed."""
+        from_type = value.type
+        if from_type == to_type:
+            return value
+        # Scalars may differ only in color qualifiers (register values
+        # carry no color); pointers may NOT — a pointee-color change
+        # must materialize as a bitcast so the secure type system can
+        # judge it (rule 4 of §4 forbids recoloring casts).
+        if not isinstance(to_type, PointerType) and \
+                from_type.strip_color() == to_type.strip_color():
+            return value
+        # int <-> int
+        if isinstance(from_type, IntType) and isinstance(to_type, IntType):
+            if isinstance(value, Constant):
+                return Constant(to_type.strip_color(), value.value)
+            if from_type.bits == to_type.bits:
+                return value
+            kind = "trunc" if from_type.bits > to_type.bits else "sext"
+            return self.builder.cast(kind, value, to_type.strip_color())
+        # int <-> float
+        if isinstance(from_type, IntType) and isinstance(to_type, FloatType):
+            if isinstance(value, Constant):
+                return Constant(to_type.strip_color(), float(value.value))
+            return self.builder.cast("sitofp", value, to_type.strip_color())
+        if isinstance(from_type, FloatType) and isinstance(to_type, IntType):
+            return self.builder.cast("fptosi", value, to_type.strip_color())
+        if isinstance(from_type, FloatType) and isinstance(to_type,
+                                                           FloatType):
+            return value  # single float representation at runtime
+        # pointer <-> pointer
+        if isinstance(from_type, PointerType) and isinstance(to_type,
+                                                             PointerType):
+            return self.builder.bitcast(value, to_type)
+        # null pointer literal
+        if isinstance(to_type, PointerType) and isinstance(value, Constant) \
+                and value.value == 0:
+            return Constant(to_type, 0)
+        # pointer <-> integer (explicit casts, thread_create args, ...)
+        if isinstance(from_type, PointerType) and isinstance(to_type,
+                                                             IntType):
+            return self.builder.cast("ptrtoint", value, to_type.strip_color())
+        if isinstance(from_type, IntType) and isinstance(to_type,
+                                                         PointerType):
+            return self.builder.cast("inttoptr", value, to_type)
+        raise FrontendError(
+            f"cannot convert {from_type} to {to_type}",
+            getattr(node, "line", 0), getattr(node, "column", 0))
+
+    def _type_of(self, expr: ast.Expr) -> IRType:
+        """Static type of an expression, for sizeof/index decisions.
+
+        Computed without emitting code for the common shapes; falls
+        back to emitting for complex operands of ``sizeof`` (C also
+        evaluates there in VLA cases, so this is acceptable).
+        """
+        if isinstance(expr, ast.Identifier):
+            slot = self.scope.lookup(expr.name)
+            if slot is not None:
+                return slot.type.pointee
+            gv = self.module.globals.get(expr.name)
+            if gv is not None:
+                return gv.value_type
+            fn = self.module.functions.get(expr.name)
+            if fn is not None:
+                return fn.type
+            raise FrontendError(f"undefined variable {expr.name!r}",
+                                expr.line, expr.column)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            inner = self._type_of(expr.operand)
+            if isinstance(inner, PointerType):
+                return inner.pointee
+            raise FrontendError("dereferencing a non-pointer",
+                                expr.line, expr.column)
+        if isinstance(expr, ast.Member):
+            base = self._type_of(expr.base)
+            if expr.arrow:
+                if not isinstance(base, PointerType):
+                    raise FrontendError("-> on non-pointer",
+                                        expr.line, expr.column)
+                base = base.pointee
+            if not isinstance(base, StructType):
+                raise FrontendError("member of non-struct",
+                                    expr.line, expr.column)
+            return base.fields[base.field_index(expr.field)].type
+        if isinstance(expr, ast.Index):
+            base = self._type_of(expr.base)
+            if isinstance(base, ArrayType):
+                return base.element
+            if isinstance(base, PointerType):
+                return base.pointee
+            raise FrontendError("indexing a non-array",
+                                expr.line, expr.column)
+        if isinstance(expr, ast.IntLiteral):
+            return I32
+        if isinstance(expr, ast.FloatLiteral):
+            return F64
+        if isinstance(expr, ast.StringLiteral):
+            return PointerType(I8)
+        # Fall back: emit the expression and look at its type.
+        return self._gen_rvalue(expr).type

@@ -1,0 +1,24 @@
+"""MiniC compiler driver."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.codegen import CodeGenerator
+from repro.frontend.parser import parse
+from repro.ir import Module, verify_module
+
+
+def compile_source(source: str, module_name: str = "minic",
+                   verify: bool = True) -> Module:
+    """Compile MiniC source text into an IR module.
+
+    This is the classical toolchain of paper Figure 5: it produces the
+    "LLVM bitcode" Privagic takes as input, with secure-type colors
+    carried as type annotations.
+    """
+    unit = parse(source, module_name)
+    module = CodeGenerator(module_name).generate(unit)
+    if verify:
+        verify_module(module)
+    return module

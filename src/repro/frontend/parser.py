@@ -1,0 +1,523 @@
+"""MiniC recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import FrontendError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import Token, tokenize
+
+#: Tokens that start a type.
+_TYPE_KEYWORDS = ("void", "char", "int", "long", "float", "double",
+                  "unsigned", "struct", "union", "const")
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_ASSIGN = {"+=": "+", "-=": "-", "*=": "*", "/=": "/",
+                    "%=": "%", "&=": "&", "|=": "|", "^=": "^",
+                    "<<=": "<<", ">>=": ">>"}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None):
+        token = token or self.current
+        raise FrontendError(message, token.line, token.column)
+
+    def expect_op(self, op: str) -> Token:
+        if not self.current.is_op(op):
+            self.error(f"expected {op!r}, found {self.current.text!r}")
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind != "ident":
+            self.error(f"expected identifier, found {self.current.text!r}")
+        return self.advance()
+
+    def accept_op(self, op: str) -> bool:
+        if self.current.is_op(op):
+            self.advance()
+            return True
+        return False
+
+    def _pos(self, token: Token) -> dict:
+        return {"line": token.line, "column": token.column}
+
+    # -- types -----------------------------------------------------------------------
+
+    def at_type(self, offset: int = 0) -> bool:
+        return self.peek(offset).is_kw(*_TYPE_KEYWORDS)
+
+    def parse_type(self) -> ast.TypeExpr:
+        """Parse ``base [color(name)] '*'*``; arrays are handled by the
+        declarator parsing."""
+        token = self.current
+        while self.current.is_kw("const"):
+            self.advance()
+        if self.current.is_kw("struct", "union"):
+            kw = self.advance()
+            name = self.expect_ident().text
+            base: object = (kw.text, name)
+        elif self.current.is_kw(*_TYPE_KEYWORDS):
+            base = self.advance().text
+            if base == "unsigned":
+                # "unsigned int" / bare "unsigned" both map to int.
+                if self.current.is_kw("char", "int", "long"):
+                    base = self.advance().text
+                else:
+                    base = "int"
+            elif base == "long" and self.current.is_kw("long", "int"):
+                self.advance()
+        else:
+            self.error(f"expected a type, found {self.current.text!r}")
+        color = self._parse_color()
+        type_expr = ast.TypeExpr(base, color, **self._pos(token))
+        while self.current.is_op("*"):
+            self.advance()
+            type_expr = type_expr.pointer_to()
+            trailing = self._parse_color()
+            if trailing is not None:
+                # `int * color(blue) p` would color the pointer itself,
+                # which rule 4 forbids; colors belong to pointees.
+                self.error("a pointer cannot carry its own color; "
+                           "write `T color(c)* p`")
+        return type_expr
+
+    def _parse_color(self) -> Optional[str]:
+        if self.current.is_kw("color"):
+            self.advance()
+            self.expect_op("(")
+            name = self.expect_ident().text
+            self.expect_op(")")
+            return name
+        return None
+
+    # -- top level ---------------------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        decls: List[ast.Node] = []
+        while self.current.kind != "eof":
+            decls.extend(self.parse_top_level())
+        return ast.TranslationUnit(decls, line=1, column=1)
+
+    def parse_top_level(self) -> List[ast.Node]:
+        annotations = []
+        while self.current.is_kw("extern", "within", "ignore", "entry",
+                                 "static"):
+            kw = self.advance().text
+            if kw != "static":
+                annotations.append(kw)
+
+        # struct/union definitions: `struct Name { ... };`
+        if self.current.is_kw("struct", "union") and \
+                self.peek(1).kind == "ident" and self.peek(2).is_op("{"):
+            return [self._parse_record_decl()]
+
+        ret = self.parse_type()
+
+        # Function-pointer global: `ret (*name)(params);`
+        if self.current.is_op("(") and self.peek(1).is_op("*"):
+            return [self._parse_funcptr_decl(ret, annotations)]
+
+        name = self.expect_ident()
+        if self.current.is_op("("):
+            return [self._parse_function(ret, name, annotations)]
+        return self._parse_global_vars(ret, name)
+
+    def _parse_record_decl(self) -> ast.Node:
+        kw = self.advance()  # struct / union
+        name = self.expect_ident().text
+        self.expect_op("{")
+        fields: List[Tuple[ast.TypeExpr, str]] = []
+        while not self.current.is_op("}"):
+            ftype = self.parse_type()
+            fname = self.expect_ident().text
+            ftype = self._parse_array_suffix(ftype)
+            fields.append((ftype, fname))
+            self.expect_op(";")
+        self.expect_op("}")
+        self.expect_op(";")
+        cls = ast.StructDecl if kw.text == "struct" else ast.UnionDecl
+        return cls(name, fields, **self._pos(kw))
+
+    def _parse_array_suffix(self, type_expr: ast.TypeExpr) -> ast.TypeExpr:
+        if self.current.is_op("["):
+            self.advance()
+            if self.current.kind != "int":
+                self.error("array size must be an integer literal")
+            size = int(self.advance().value)
+            self.expect_op("]")
+            type_expr = ast.TypeExpr(type_expr.base, type_expr.color,
+                                     type_expr.pointer_depth, size,
+                                     line=type_expr.line,
+                                     column=type_expr.column)
+        return type_expr
+
+    def _parse_funcptr_decl(self, ret, annotations) -> ast.Node:
+        self.expect_op("(")
+        self.expect_op("*")
+        name = self.expect_ident()
+        self.expect_op(")")
+        params = self._parse_funcptr_params()
+        self.expect_op(";")
+        type_expr = ast.FuncPtrTypeExpr(ret, params, **self._pos(name))
+        return ast.GlobalDecl(type_expr, name.text, None,
+                              **self._pos(name))
+
+    def _parse_funcptr_params(self) -> List[ast.TypeExpr]:
+        self.expect_op("(")
+        params: List[ast.TypeExpr] = []
+        if not self.current.is_op(")"):
+            while True:
+                params.append(self.parse_type())
+                if self.current.kind == "ident":
+                    self.advance()  # parameter name is optional/ignored
+                if not self.accept_op(","):
+                    break
+        self.expect_op(")")
+        return params
+
+    def _parse_function(self, ret, name: Token,
+                        annotations: List[str]) -> ast.FunctionDecl:
+        self.expect_op("(")
+        params: List[ast.Param] = []
+        vararg = False
+        if not self.current.is_op(")"):
+            if self.current.is_kw("void") and self.peek(1).is_op(")"):
+                self.advance()
+            else:
+                while True:
+                    if self.current.is_op("..."):
+                        self.advance()
+                        vararg = True
+                        break
+                    ptype = self.parse_type()
+                    if self.current.is_op("(") and self.peek(1).is_op("*"):
+                        self.expect_op("(")
+                        self.expect_op("*")
+                        pname = self.expect_ident().text
+                        self.expect_op(")")
+                        fp_params = self._parse_funcptr_params()
+                        ptype = ast.FuncPtrTypeExpr(
+                            ptype, fp_params, **self._pos(self.current))
+                    elif self.current.kind == "ident":
+                        pname = self.advance().text
+                    else:
+                        pname = f"p{len(params)}"
+                    params.append(ast.Param(ptype, pname,
+                                            **self._pos(self.current)))
+                    if not self.accept_op(","):
+                        break
+        self.expect_op(")")
+        if self.accept_op(";"):
+            body = None
+            if "within" not in annotations and "ignore" not in annotations:
+                annotations = list(annotations) + ["extern"]
+        else:
+            body = self.parse_block()
+        return ast.FunctionDecl(ret, name.text, params, body, annotations,
+                                vararg, **self._pos(name))
+
+    def _parse_global_vars(self, type_expr, first_name: Token) -> List[ast.Node]:
+        decls: List[ast.Node] = []
+        name = first_name
+        while True:
+            vtype = self._parse_array_suffix(type_expr)
+            init = None
+            if self.accept_op("="):
+                init = self.parse_assignment()
+            decls.append(ast.GlobalDecl(vtype, name.text, init,
+                                        **self._pos(name)))
+            if not self.accept_op(","):
+                break
+            name = self.expect_ident()
+        self.expect_op(";")
+        return decls
+
+    # -- statements ------------------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        start = self.expect_op("{")
+        statements: List[ast.Stmt] = []
+        while not self.current.is_op("}"):
+            statements.append(self.parse_statement())
+        self.expect_op("}")
+        return ast.Block(statements, **self._pos(start))
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.is_op("{"):
+            return self.parse_block()
+        if token.is_op(";"):
+            self.advance()
+            return ast.Block([], **self._pos(token))
+        if token.is_kw("if"):
+            return self._parse_if()
+        if token.is_kw("while"):
+            return self._parse_while()
+        if token.is_kw("do"):
+            return self._parse_do_while()
+        if token.is_kw("for"):
+            return self._parse_for()
+        if token.is_kw("return"):
+            self.advance()
+            value = None if self.current.is_op(";") else self.parse_expression()
+            self.expect_op(";")
+            return ast.Return(value, **self._pos(token))
+        if token.is_kw("break"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Break(**self._pos(token))
+        if token.is_kw("continue"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Continue(**self._pos(token))
+        if self.at_type():
+            return self._parse_var_decl()
+        expr = self.parse_expression()
+        self.expect_op(";")
+        return ast.ExprStmt(expr, **self._pos(token))
+
+    def _parse_var_decl(self, consume_semicolon: bool = True) -> ast.Stmt:
+        type_expr = self.parse_type()
+        # Function-pointer local: `ret (*name)(params);`
+        if self.current.is_op("(") and self.peek(1).is_op("*"):
+            self.expect_op("(")
+            self.expect_op("*")
+            name = self.expect_ident()
+            self.expect_op(")")
+            params = self._parse_funcptr_params()
+            fp_type = ast.FuncPtrTypeExpr(type_expr, params,
+                                          **self._pos(name))
+            init = None
+            if self.accept_op("="):
+                init = self.parse_assignment()
+            if consume_semicolon:
+                self.expect_op(";")
+            return ast.VarDecl(fp_type, name.text, init,
+                               **self._pos(name))
+        statements: List[ast.Stmt] = []
+        while True:
+            name = self.expect_ident()
+            vtype = self._parse_array_suffix(type_expr)
+            init = None
+            if self.accept_op("="):
+                init = self.parse_assignment()
+            statements.append(ast.VarDecl(vtype, name.text, init,
+                                          **self._pos(name)))
+            if not self.accept_op(","):
+                break
+        if consume_semicolon:
+            self.expect_op(";")
+        if len(statements) == 1:
+            return statements[0]
+        return ast.Block(statements, **self._pos(name))
+
+    def _parse_if(self) -> ast.If:
+        token = self.advance()
+        self.expect_op("(")
+        cond = self.parse_expression()
+        self.expect_op(")")
+        then = self.parse_statement()
+        orelse = None
+        if self.current.is_kw("else"):
+            self.advance()
+            orelse = self.parse_statement()
+        return ast.If(cond, then, orelse, **self._pos(token))
+
+    def _parse_while(self) -> ast.While:
+        token = self.advance()
+        self.expect_op("(")
+        cond = self.parse_expression()
+        self.expect_op(")")
+        body = self.parse_statement()
+        return ast.While(cond, body, **self._pos(token))
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        token = self.advance()
+        body = self.parse_statement()
+        if not self.current.is_kw("while"):
+            self.error("expected 'while' after do-body")
+        self.advance()
+        self.expect_op("(")
+        cond = self.parse_expression()
+        self.expect_op(")")
+        self.expect_op(";")
+        return ast.DoWhile(body, cond, **self._pos(token))
+
+    def _parse_for(self) -> ast.For:
+        token = self.advance()
+        self.expect_op("(")
+        init: Optional[ast.Stmt] = None
+        if not self.current.is_op(";"):
+            if self.at_type():
+                init = self._parse_var_decl(consume_semicolon=False)
+            else:
+                init = ast.ExprStmt(self.parse_expression(),
+                                    **self._pos(token))
+        self.expect_op(";")
+        cond = None if self.current.is_op(";") else self.parse_expression()
+        self.expect_op(";")
+        step = None if self.current.is_op(")") else self.parse_expression()
+        self.expect_op(")")
+        body = self.parse_statement()
+        return ast.For(init, cond, step, body, **self._pos(token))
+
+    # -- expressions -------------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        expr = self.parse_assignment()
+        while self.accept_op(","):
+            expr = self.parse_assignment()  # comma keeps the last value
+        return expr
+
+    def parse_assignment(self) -> ast.Expr:
+        lhs = self._parse_conditional()
+        token = self.current
+        if token.is_op("="):
+            self.advance()
+            rhs = self.parse_assignment()
+            return ast.Assign(lhs, rhs, None, **self._pos(token))
+        if token.kind == "op" and token.text in _COMPOUND_ASSIGN:
+            self.advance()
+            rhs = self.parse_assignment()
+            return ast.Assign(lhs, rhs, _COMPOUND_ASSIGN[token.text],
+                              **self._pos(token))
+        return lhs
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self.current.is_op("?"):
+            token = self.advance()
+            then = self.parse_expression()
+            self.expect_op(":")
+            orelse = self.parse_assignment()
+            return ast.Conditional(cond, then, orelse, **self._pos(token))
+        return cond
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            token = self.current
+            prec = _PRECEDENCE.get(token.text) if token.kind == "op" else None
+            if prec is None or prec < min_precedence:
+                return lhs
+            self.advance()
+            rhs = self._parse_binary(prec + 1)
+            lhs = ast.Binary(token.text, lhs, rhs, **self._pos(token))
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!", "~", "*", "&",
+                                                 "++", "--", "+"):
+            self.advance()
+            operand = self._parse_unary()
+            if token.text == "+":
+                return operand
+            return ast.Unary(token.text, operand, **self._pos(token))
+        if token.is_kw("sizeof"):
+            self.advance()
+            self.expect_op("(")
+            if self.at_type():
+                type_expr = self.parse_type()
+                node = ast.SizeofExpr(type=type_expr, **self._pos(token))
+            else:
+                node = ast.SizeofExpr(operand=self.parse_expression(),
+                                      **self._pos(token))
+            self.expect_op(")")
+            return node
+        # Cast: '(' type ')' unary
+        if token.is_op("(") and self.at_type(1):
+            self.advance()
+            type_expr = self.parse_type()
+            self.expect_op(")")
+            operand = self._parse_unary()
+            return ast.CastExpr(type_expr, operand, **self._pos(token))
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self.current
+            if token.is_op("("):
+                self.advance()
+                args: List[ast.Expr] = []
+                if not self.current.is_op(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept_op(","):
+                            break
+                self.expect_op(")")
+                expr = ast.CallExpr(expr, args, **self._pos(token))
+            elif token.is_op("["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect_op("]")
+                expr = ast.Index(expr, index, **self._pos(token))
+            elif token.is_op("."):
+                self.advance()
+                field = self.expect_ident().text
+                expr = ast.Member(expr, field, False, **self._pos(token))
+            elif token.is_op("->"):
+                self.advance()
+                field = self.expect_ident().text
+                expr = ast.Member(expr, field, True, **self._pos(token))
+            elif token.is_op("++", "--"):
+                self.advance()
+                expr = ast.Postfix(token.text, expr, **self._pos(token))
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "int" or token.kind == "char":
+            self.advance()
+            return ast.IntLiteral(int(token.value), **self._pos(token))
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLiteral(float(token.value), **self._pos(token))
+        if token.kind == "string":
+            self.advance()
+            return ast.StringLiteral(token.value, **self._pos(token))
+        if token.kind == "ident":
+            self.advance()
+            return ast.Identifier(token.text, **self._pos(token))
+        if token.is_op("("):
+            self.advance()
+            expr = self.parse_expression()
+            self.expect_op(")")
+            return expr
+        self.error(f"unexpected token {token.text!r} in expression")
+
+
+def parse(source: str, filename: str = "<source>") -> ast.TranslationUnit:
+    return Parser(tokenize(source, filename)).parse_translation_unit()

@@ -1,0 +1,85 @@
+"""repro.ir — an SSA intermediate representation modelled on LLVM IR.
+
+The IR considers an abstract machine with a memory and an infinite
+number of typed registers (paper §2.2).  An instruction takes values
+as input and *is* its own output register (static single assignment),
+so instructions double as values.
+
+Public surface:
+
+* :mod:`repro.ir.types` — the type system, including the secure-type
+  ``color`` qualifier carried by types and struct fields.
+* :mod:`repro.ir.values` — constants, globals, arguments.
+* :mod:`repro.ir.instructions` — the instruction set.
+* :mod:`repro.ir.module` — ``Module`` / ``Function`` / ``BasicBlock``.
+* :mod:`repro.ir.builder` — ``IRBuilder`` for convenient construction.
+* :mod:`repro.ir.printer` / :mod:`repro.ir.parser` — textual form.
+* :mod:`repro.ir.verifier` — structural well-formedness checks.
+* :mod:`repro.ir.cfg` — dominators, postdominators, orderings.
+* :mod:`repro.ir.passes` — mem2reg, dead code elimination.
+* :mod:`repro.ir.interp` — step-based interpreter with a simulated
+  flat address space and deterministic interleaving control.
+"""
+
+from repro.ir.types import (
+    IRType,
+    VoidType,
+    IntType,
+    FloatType,
+    PointerType,
+    ArrayType,
+    StructType,
+    StructField,
+    FunctionType,
+    VOID,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    F32,
+    F64,
+)
+from repro.ir.values import (
+    Value,
+    Constant,
+    UndefValue,
+    GlobalVariable,
+    Argument,
+)
+from repro.ir.instructions import (
+    Instruction,
+    Alloca,
+    Load,
+    Store,
+    BinOp,
+    Cmp,
+    GEP,
+    Call,
+    Branch,
+    Jump,
+    Ret,
+    Phi,
+    Cast,
+    Select,
+    Unreachable,
+)
+from repro.ir.module import Module, Function, BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_module, print_function, print_instruction
+from repro.ir.parser import parse_module
+from repro.ir.verifier import verify_module, verify_function
+
+__all__ = [
+    "IRType", "VoidType", "IntType", "FloatType", "PointerType",
+    "ArrayType", "StructType", "StructField", "FunctionType",
+    "VOID", "I1", "I8", "I16", "I32", "I64", "F32", "F64",
+    "Value", "Constant", "UndefValue", "GlobalVariable", "Argument",
+    "Instruction", "Alloca", "Load", "Store", "BinOp", "Cmp", "GEP",
+    "Call", "Branch", "Jump", "Ret", "Phi", "Cast", "Select",
+    "Unreachable",
+    "Module", "Function", "BasicBlock", "IRBuilder",
+    "print_module", "print_function", "print_instruction",
+    "parse_module",
+    "verify_module", "verify_function",
+]

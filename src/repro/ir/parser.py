@@ -1,0 +1,460 @@
+"""Textual IR parser — the inverse of :mod:`repro.ir.printer`.
+
+Parses the LLVM-flavoured form the printer emits, giving the IR a
+round-trippable on-disk format (used by tests and by the Table 4
+line-count tooling).  The grammar is exactly the printer's output:
+struct definitions, globals, ``declare``/``define`` with attribute
+words, one instruction per line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Cmp,
+    GEP,
+    Instruction,
+    Jump,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+    BINARY_OPS,
+    CAST_KINDS,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    IRType,
+    PointerType,
+    StructType,
+    StructField,
+    VOID,
+)
+from repro.ir.values import Constant, GlobalVariable, UndefValue, Value
+
+_TOKEN = re.compile(r"""
+    c"(?:[^"\\]|\\.)*"           # string constant
+  | %[A-Za-z0-9_.$@\-]+          # local name
+  | @[A-Za-z0-9_.$@\-]+          # global name
+  | \[ | \] | \{ | \} | \( | \) | , | = | \*
+  | -?\d+\.\d+(?:e[+-]?\d+)?     # float literal
+  | -?\d+                        # int literal
+  | \.\.\.
+  | [A-Za-z_][A-Za-z0-9_.\-]*    # word
+""", re.VERBOSE)
+
+
+def _tokenize(line: str) -> List[str]:
+    return _TOKEN.findall(line)
+
+
+class _LineParser:
+    """Token cursor over one line."""
+
+    def __init__(self, tokens: List[str], line_no: int):
+        self.tokens = tokens
+        self.pos = 0
+        self.line_no = line_no
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else ""
+
+    def next(self) -> str:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise IRError(
+                f"line {self.line_no}: expected {token!r}, got {got!r}")
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.pos += 1
+            return True
+        return False
+
+    @property
+    def done(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+class ModuleParser:
+    """Parses the printer's module format."""
+
+    def __init__(self, text: str, name: str = "parsed"):
+        self.text = text
+        self.module = Module(name)
+        self._pending_structs: Dict[str, StructType] = {}
+
+    def parse(self) -> Module:
+        lines = self.text.splitlines()
+        # Pass 1: structs, globals and every function *header*, so
+        # bodies may reference functions declared later in the file.
+        definition_starts: List[int] = []
+        i = 0
+        while i < len(lines):
+            line = lines[i].strip()
+            i += 1
+            if not line or line.startswith(";"):
+                continue
+            if line.startswith("%") and "= type" in line:
+                self._parse_struct(line, i)
+            elif line.startswith("@"):
+                self._parse_global(line, i)
+            elif line.startswith("declare"):
+                self._parse_declaration(line, i)
+            elif line.startswith("define"):
+                definition_starts.append(i - 1)
+                header = line.rstrip("{").strip()
+                fn = self._parse_header(header, i, "define")
+                self.module.add_function(fn)
+                while i < len(lines) and lines[i].strip() != "}":
+                    i += 1
+                i += 1
+            else:
+                raise IRError(f"line {i}: unexpected {line!r}")
+        # Pass 2: function bodies.
+        for start in definition_starts:
+            self._parse_definition(lines, start)
+        return self.module
+
+    # -- types --------------------------------------------------------------------
+
+    def _struct(self, name: str) -> StructType:
+        if name in self.module.structs:
+            return self.module.structs[name]
+        st = self._pending_structs.setdefault(name, StructType(name))
+        return st
+
+    def parse_type(self, p: _LineParser) -> IRType:
+        token = p.next()
+        base: IRType
+        if token == "void":
+            base = VOID
+        elif token.startswith("%"):
+            base = self._struct(token[1:])
+        elif token == "[":
+            count = int(p.next())
+            p.expect("x")
+            element = self.parse_type(p)
+            p.expect("]")
+            base = ArrayType(element, count)
+        elif re.fullmatch(r"i\d+", token):
+            base = IntType(int(token[1:]))
+        elif re.fullmatch(r"f\d+", token):
+            base = FloatType(int(token[1:]))
+        else:
+            raise IRError(f"line {p.line_no}: unknown type {token!r}")
+        if p.peek() == "color":
+            p.next()
+            p.expect("(")
+            color = p.next()
+            p.expect(")")
+            base = base.with_color(color)
+        while p.accept("*"):
+            base = PointerType(base)
+        return base
+
+    # -- top-level ------------------------------------------------------------------
+
+    def _parse_struct(self, line: str, line_no: int) -> None:
+        p = _LineParser(_tokenize(line), line_no)
+        name = p.next()[1:]
+        p.expect("=")
+        p.expect("type")
+        p.expect("{")
+        fields = []
+        while not p.accept("}"):
+            ftype = self.parse_type(p)
+            fname = p.next()
+            fields.append(StructField(fname, ftype))
+            p.accept(",")
+        st = self._struct(name)
+        st.set_body(fields)
+        if name not in self.module.structs:
+            self.module.add_struct(st)
+
+    def _parse_global(self, line: str, line_no: int) -> None:
+        p = _LineParser(_tokenize(line), line_no)
+        name = p.next()[1:]
+        p.expect("=")
+        p.expect("global")
+        vtype = self.parse_type(p)
+        init: Optional[Constant] = None
+        token = p.next()
+        if token == "zeroinitializer" or not token:
+            init = None
+        elif token.startswith('c"'):
+            init = Constant(vtype, _unescape(token))
+        elif "." in token or "e" in token:
+            init = Constant(vtype, float(token))
+        else:
+            init = Constant(vtype, int(token))
+        self.module.add_global(GlobalVariable(name, vtype, init))
+
+    _ATTR_WORDS = frozenset({"extern", "within", "ignore", "entry",
+                             "address-taken"})
+
+    def _parse_header(self, line: str, line_no: int, keyword: str):
+        p = _LineParser(_tokenize(line), line_no)
+        p.expect(keyword)
+        ret = self.parse_type(p)
+        name = p.next()[1:]
+        p.expect("(")
+        params: List[Tuple[IRType, str]] = []
+        vararg = False
+        while not p.accept(")"):
+            if p.accept("..."):
+                vararg = True
+                continue
+            ptype = self.parse_type(p)
+            pname = p.next()
+            params.append((ptype, pname[1:] if pname.startswith("%")
+                           else pname))
+            p.accept(",")
+        attrs = []
+        while not p.done and p.peek() in self._ATTR_WORDS:
+            attrs.append(p.next())
+        ftype = FunctionType(ret, [t for t, _ in params], vararg)
+        fn = Function(name, ftype, [n for _, n in params], attrs)
+        return fn
+
+    def _parse_declaration(self, line: str, line_no: int) -> None:
+        fn = self._parse_header(line, line_no, "declare")
+        self.module.add_function(fn)
+
+    def _parse_definition(self, lines: List[str], start: int) -> int:
+        header = lines[start].strip().rstrip("{").strip()
+        template = self._parse_header(header, start + 1, "define")
+        fn = self.module.get_function(template.name)
+        body = _FunctionBodyParser(self, fn)
+        i = start + 1
+        while i < len(lines):
+            line = lines[i].strip()
+            if line == "}":
+                body.finish()
+                return i
+            if line and not line.startswith(";"):
+                body.add_line(line, i + 1)
+            i += 1
+        raise IRError(f"function @{fn.name}: missing closing brace")
+
+
+class _FunctionBodyParser:
+    """Two-pass body parser: collect lines per block, then build
+    instructions with forward references resolved."""
+
+    def __init__(self, owner: ModuleParser, fn: Function):
+        self.owner = owner
+        self.fn = fn
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.block_lines: List[Tuple[BasicBlock, str, int]] = []
+        self.current: Optional[BasicBlock] = None
+        self.values: Dict[str, Value] = {
+            a.name: a for a in fn.args}
+        self._placeholders: Dict[str, Value] = {}
+
+    def block(self, name: str) -> BasicBlock:
+        if name not in self.blocks:
+            self.blocks[name] = self.fn.add_block(name)
+        return self.blocks[name]
+
+    def add_line(self, line: str, line_no: int) -> None:
+        if line.endswith(":"):
+            self.current = self.block(line[:-1])
+            return
+        if self.current is None:
+            self.current = self.block("entry")
+        self.block_lines.append((self.current, line, line_no))
+
+    # -- operands ------------------------------------------------------------------
+
+    def value(self, p: _LineParser, type_hint: IRType) -> Value:
+        token = p.next()
+        if token.startswith("%"):
+            name = token[1:]
+            if name in self.values:
+                return self.values[name]
+            placeholder = self._placeholders.get(name)
+            if placeholder is None:
+                placeholder = UndefValue(type_hint)
+                placeholder.name = name
+                self._placeholders[name] = placeholder
+            return placeholder
+        if token.startswith("@"):
+            name = token[1:]
+            if name in self.owner.module.globals:
+                return self.owner.module.globals[name]
+            return self.owner.module.get_function(name)
+        if token == "undef":
+            return UndefValue(type_hint)
+        if token.startswith('c"'):
+            text = _unescape(token)
+            return Constant(ArrayType(IntType(8), len(text) + 1), text)
+        if "." in token or ("e" in token and token[0].isdigit()):
+            return Constant(type_hint, float(token))
+        return Constant(type_hint, int(token))
+
+    def typed_value(self, p: _LineParser) -> Value:
+        vtype = self.owner.parse_type(p)
+        return self.value(p, vtype)
+
+    def define(self, name: str, instr: Instruction) -> None:
+        instr.name = name
+        self.values[name] = instr
+        placeholder = self._placeholders.pop(name, None)
+        if placeholder is not None:
+            placeholder.replace_all_uses_with(instr)
+
+    # -- instructions ----------------------------------------------------------------
+
+    def finish(self) -> None:
+        pending_phis = []
+        for block, line, line_no in self.block_lines:
+            p = _LineParser(_tokenize(line), line_no)
+            result_name = None
+            if p.peek().startswith("%") and p.peek(1) == "=":
+                result_name = p.next()[1:]
+                p.next()
+            instr = self._parse_instruction(p, result_name,
+                                            pending_phis)
+            block.instructions.append(instr)
+            instr.parent = block
+            if result_name is not None:
+                self.define(result_name, instr)
+        for phi, entries in pending_phis:
+            for value_token, block_name, vtype in entries:
+                value = self._resolve_token(value_token, vtype)
+                phi.add_incoming(value, self.block(block_name))
+        if self._placeholders:
+            missing = ", ".join(sorted(self._placeholders))
+            raise IRError(
+                f"@{self.fn.name}: unresolved values {missing}")
+
+    def _resolve_token(self, token: str, vtype: IRType) -> Value:
+        p = _LineParser([token], 0)
+        return self.value(p, vtype)
+
+    def _parse_instruction(self, p: _LineParser, result, pending_phis):
+        op = p.next()
+        if op == "alloca":
+            return Alloca(self.owner.parse_type(p))
+        if op == "load":
+            return Load(self.typed_value(p))
+        if op == "store":
+            value = self.typed_value(p)
+            p.accept(",")
+            ptr = self.typed_value(p)
+            return Store(value, ptr)
+        if op in BINARY_OPS:
+            vtype = self.owner.parse_type(p)
+            lhs = self.value(p, vtype)
+            p.accept(",")
+            rhs = self.value(p, vtype)
+            return BinOp(op, lhs, rhs)
+        if op == "cmp":
+            predicate = p.next()
+            vtype = self.owner.parse_type(p)
+            lhs = self.value(p, vtype)
+            p.accept(",")
+            rhs = self.value(p, vtype)
+            return Cmp(predicate, lhs, rhs)
+        if op == "gep":
+            ptr = self.typed_value(p)
+            indices = []
+            while p.accept(","):
+                indices.append(self.typed_value(p))
+            return GEP(ptr, indices)
+        if op == "call":
+            self.owner.parse_type(p)  # printed result type
+            callee_token = p.next()
+            p.expect("(")
+            args = []
+            while not p.accept(")"):
+                args.append(self.typed_value(p))
+                p.accept(",")
+            callee = self._resolve_callee(callee_token)
+            return Call(callee, args)
+        if op == "br":
+            cond = self.typed_value(p)
+            p.accept(",")
+            p.expect("label")
+            then_block = self.block(p.next()[1:])
+            p.accept(",")
+            p.expect("label")
+            else_block = self.block(p.next()[1:])
+            return Branch(cond, then_block, else_block)
+        if op == "jmp":
+            p.expect("label")
+            return Jump(self.block(p.next()[1:]))
+        if op == "ret":
+            if p.peek() == "void":
+                return Ret()
+            return Ret(self.typed_value(p))
+        if op == "phi":
+            vtype = self.owner.parse_type(p)
+            phi = Phi(vtype)
+            entries = []
+            while p.accept("["):
+                value_token = p.next()
+                p.accept(",")
+                block_name = p.next()[1:]
+                p.expect("]")
+                p.accept(",")
+                entries.append((value_token, block_name, vtype))
+            pending_phis.append((phi, entries))
+            return phi
+        if op in CAST_KINDS:
+            value = self.typed_value(p)
+            p.expect("to")
+            to_type = self.owner.parse_type(p)
+            return Cast(op, value, to_type)
+        if op == "select":
+            cond = self.typed_value(p)
+            p.accept(",")
+            a = self.typed_value(p)
+            p.accept(",")
+            b = self.typed_value(p)
+            return Select(cond, a, b)
+        if op == "unreachable":
+            return Unreachable()
+        raise IRError(f"line {p.line_no}: unknown instruction {op!r}")
+
+    def _resolve_callee(self, token: str) -> Value:
+        if token.startswith("@"):
+            return self.owner.module.get_function(token[1:])
+        if token.startswith("%"):
+            p = _LineParser([token], 0)
+            return self.value(
+                p, PointerType(FunctionType(VOID, [])))
+        raise IRError(f"cannot call {token!r}")
+
+
+def _unescape(token: str) -> str:
+    body = token[2:-1]
+    return (body.replace("\\n", "\n").replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+def parse_module(text: str, name: str = "parsed") -> Module:
+    """Parse the textual IR form produced by
+    :func:`repro.ir.printer.print_module`."""
+    return ModuleParser(text, name).parse()

@@ -1,0 +1,14 @@
+"""IR transformation passes.
+
+* :func:`repro.ir.passes.mem2reg.mem2reg` — promote pointer-free local
+  variables to SSA registers (paper §5.1: run before type analysis so
+  that inferring register colors also covers local variables).
+* :func:`repro.ir.passes.dce.dead_code_elimination` — remove
+  side-effect-free instructions with no users (paper §7.3.1: cleans up
+  uselessly replicated F instructions in chunks).
+"""
+
+from repro.ir.passes.mem2reg import mem2reg, promotable_allocas
+from repro.ir.passes.dce import dead_code_elimination
+
+__all__ = ["mem2reg", "promotable_allocas", "dead_code_elimination"]

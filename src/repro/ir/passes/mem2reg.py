@@ -1,0 +1,147 @@
+"""mem2reg — promote local variables to SSA registers.
+
+This reproduces the LLVM pass Privagic runs first (paper §5.1): a
+local variable (``alloca``) is promoted to registers *except if the
+code creates a pointer to it*.  After promotion, inferring register
+colors covers local variables too, and — crucially for the paper's
+multi-threading argument — a promoted variable can only be accessed by
+a single thread, so its inferred color is correct even in
+multi-threaded applications.
+
+We additionally refuse to promote allocas whose type carries an
+explicit color: the developer pinned those to an enclave, so they must
+remain memory locations.
+
+Standard SSA construction: phi insertion at iterated dominance
+frontiers of defining blocks, then renaming along the dominator tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.cfg import DominatorTree, reachable_blocks
+from repro.ir.instructions import Alloca, Instruction, Load, Phi, Store
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import UndefValue, Value
+
+
+def promotable_allocas(fn: Function) -> List[Alloca]:
+    """Allocas that are only ever loaded from / stored to (never has
+    their address taken by any other use) and are not explicitly
+    colored."""
+    result = []
+    for instr in fn.instructions():
+        if not isinstance(instr, Alloca):
+            continue
+        if instr.allocated_type.color is not None:
+            continue
+        if instr.allocated_type.is_aggregate:
+            continue
+        promotable = True
+        for user in instr.users:
+            if isinstance(user, Load) and user.ptr is instr:
+                continue
+            if isinstance(user, Store) and user.ptr is instr and \
+                    user.value is not instr:
+                continue
+            promotable = False
+            break
+        if promotable:
+            result.append(instr)
+    return result
+
+
+def mem2reg(target) -> int:
+    """Promote all promotable allocas; returns how many were promoted.
+
+    Accepts a :class:`Function` or a whole :class:`Module`.
+    """
+    if isinstance(target, Module):
+        return sum(mem2reg(f) for f in target.defined_functions())
+    return _promote_function(target)
+
+
+def _promote_function(fn: Function) -> int:
+    allocas = promotable_allocas(fn)
+    if not allocas:
+        return 0
+    reachable = reachable_blocks(fn)
+    dt = DominatorTree(fn)
+    frontier = dt.frontier()
+
+    for alloca in allocas:
+        _promote_one(fn, alloca, dt, frontier, reachable)
+    return len(allocas)
+
+
+def _promote_one(fn: Function, alloca: Alloca, dt: DominatorTree,
+                 frontier, reachable: Set[BasicBlock]) -> None:
+    loads = [u for u in alloca.users if isinstance(u, Load)]
+    stores = [u for u in alloca.users if isinstance(u, Store)]
+
+    # Phase 1: place phi nodes at the iterated dominance frontier of
+    # every block containing a store.
+    defining_blocks = {s.parent for s in stores if s.parent in reachable}
+    phi_blocks: Dict[BasicBlock, Phi] = {}
+    work = list(defining_blocks)
+    while work:
+        block = work.pop()
+        for df_block in frontier.get(block, ()):
+            if df_block in phi_blocks:
+                continue
+            phi = Phi(alloca.allocated_type,
+                      fn.next_value_name(alloca.name or "mem"))
+            df_block.insert(0, phi)
+            phi.parent = df_block
+            phi_blocks[df_block] = phi
+            if df_block not in defining_blocks:
+                work.append(df_block)
+
+    # Phase 2: rename along the dominator tree.
+    undef = UndefValue(alloca.allocated_type)
+    replacements: Dict[Instruction, Value] = {}
+    erase_list: List[Instruction] = []
+
+    children: Dict[Optional[BasicBlock], List[BasicBlock]] = {}
+    for block in reachable:
+        children.setdefault(dt.immediate(block), []).append(block)
+
+    def rename(block: BasicBlock, incoming: Value) -> None:
+        current = incoming
+        phi = phi_blocks.get(block)
+        if phi is not None:
+            current = phi
+        for instr in list(block.instructions):
+            if isinstance(instr, Load) and instr.ptr is alloca:
+                replacements[instr] = current
+                erase_list.append(instr)
+            elif isinstance(instr, Store) and instr.ptr is alloca:
+                current = instr.value
+                erase_list.append(instr)
+        for succ in block.successors:
+            succ_phi = phi_blocks.get(succ)
+            if succ_phi is not None:
+                succ_phi.add_incoming(current, block)
+        for child in children.get(block, []):
+            rename(child, current)
+
+    # The dominator tree rooted at entry covers all reachable blocks;
+    # renaming must follow tree edges, passing the value live at the
+    # *end* of the parent.  The classic algorithm passes the value at
+    # the end of the immediate dominator, which is exactly what the
+    # recursion above does.
+    rename(fn.entry_block, undef)
+
+    # Phase 3: apply replacements and delete the alloca.
+    for load, value in replacements.items():
+        final = value
+        # A replacement value may itself have been a removed load.
+        seen = set()
+        while final in replacements and final not in seen:
+            seen.add(final)
+            final = replacements[final]
+        load.replace_all_uses_with(final)
+    for instr in erase_list:
+        instr.erase()
+    alloca.erase()

@@ -1,0 +1,21 @@
+"""repro.runtime — the Privagic runtime (paper §5, §7.3).
+
+The runtime supposes a memory shared between the enclaves and the
+unsafe code, and offers inter-enclave communication primitives:
+
+* :mod:`repro.runtime.channel` — the lock-free FIFO queues between
+  workers, with message accounting for the cost model;
+* :mod:`repro.runtime.executor` — per-enclave worker contexts (one per
+  enclave per application thread), spawn/cont/wait message handling,
+  trampolines, and the scheduler driving a partitioned program.
+
+High-level entry point: :func:`repro.runtime.executor.run_partitioned`.
+"""
+
+from repro.runtime.channel import Channel, Message, SpawnMessage
+from repro.runtime.executor import PrivagicRuntime, run_partitioned
+
+__all__ = [
+    "Channel", "Message", "SpawnMessage",
+    "PrivagicRuntime", "run_partitioned",
+]

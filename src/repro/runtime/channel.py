@@ -1,0 +1,108 @@
+"""Inter-enclave communication channels.
+
+Each pair of workers (per application thread) communicates through a
+FIFO queue stored in unsafe memory (paper §7.3.2).  The original
+implements them as lock-free SPSC queues [21, 28]; here a deque plays
+that role, and the channel keeps the counters the cost model charges:
+every message that crosses an enclave boundary is an enclave-boundary
+event, far cheaper than an SDK ecall but not free (§9.3.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+
+class Message:
+    """A ``cont`` message carrying an F value or a synchronization
+    token (§7.3.2, §7.3.3)."""
+
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: object = None):
+        self.kind = kind  # "value" | "token"
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<Message {self.kind} {self.value!r}>"
+
+
+class SpawnMessage(Message):
+    """A ``spawn`` message: start a chunk on the destination worker,
+    with the F arguments (delivered as ``cont`` payloads in the paper;
+    carried inline here and counted as messages)."""
+
+    __slots__ = ("chunk", "args", "reply_to")
+
+    def __init__(self, chunk: str, args: List[object],
+                 reply_to: Optional[str]):
+        super().__init__("spawn")
+        self.chunk = chunk
+        self.args = list(args)
+        self.reply_to = reply_to
+
+    def __repr__(self) -> str:
+        return f"<SpawnMessage {self.chunk} args={self.args}>"
+
+
+class Channel:
+    """FIFO queue from one worker to another."""
+
+    def __init__(self, src: str, dst: str):
+        self.src = src
+        self.dst = dst
+        self.queue: Deque[Message] = deque()
+        self.sent = 0
+        self.received = 0
+
+    def push(self, message: Message) -> None:
+        self.queue.append(message)
+        self.sent += 1
+
+    def pop_kind(self, kinds: Iterable[str]) -> Optional[Message]:
+        """Pop the oldest message whose kind is in ``kinds``."""
+        kinds = tuple(kinds)
+        for i, message in enumerate(self.queue):
+            if message.kind in kinds:
+                del self.queue[i]
+                self.received += 1
+                return message
+        return None
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def __repr__(self) -> str:
+        return (f"<Channel {self.src}->{self.dst} "
+                f"pending={len(self.queue)}>")
+
+
+class ChannelMatrix:
+    """All channels of one worker group (one application thread)."""
+
+    def __init__(self):
+        self.channels: Dict[Tuple[str, str], Channel] = {}
+
+    def channel(self, src: str, dst: str) -> Channel:
+        key = (src, dst)
+        if key not in self.channels:
+            self.channels[key] = Channel(src, dst)
+        return self.channels[key]
+
+    def incoming(self, dst: str) -> List[Channel]:
+        return [c for (s, d), c in sorted(self.channels.items())
+                if d == dst]
+
+    def total_messages(self) -> int:
+        return sum(c.sent for c in self.channels.values())
+
+    def pending(self) -> int:
+        return sum(len(c) for c in self.channels.values())
+
+    def message_stats(self) -> Dict[str, int]:
+        stats: Dict[str, int] = {"spawn": 0, "value": 0, "token": 0}
+        for channel in self.channels.values():
+            pass  # per-kind counters tracked by the runtime
+        stats["total"] = self.total_messages()
+        return stats

@@ -1,0 +1,343 @@
+"""Worker contexts, trampolines and the partitioned-program scheduler.
+
+For each application thread, the runtime runs a *worker* in each
+enclave (paper §7.3).  Workers are idle interpreter contexts in
+enclave mode; a ``spawn`` message makes a worker invoke a chunk, and a
+context blocked in ``wait`` runs incoming spawns as trampolines before
+retrying — exactly the nested execution of Figure 7, where ``g.U``
+runs inside ``main.U``'s ``wait()``.
+
+The runtime installs the ``__privagic_*`` externals the partitioner
+emits:
+
+=====================  ==========================================
+``__privagic_spawn``   enqueue a spawn (+ F-argument conts) to the
+                       worker owning the chunk's color
+``__privagic_send``    send an F value (``cont``)
+``__privagic_recv``    wait for an F value from a given chunk,
+                       running trampolines while blocked
+``__privagic_token_*`` synchronization-barrier tokens (§7.3.3)
+=====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RuntimeFault
+from repro.core.partition import PartitionedProgram
+from repro.ir.interp import (
+    BLOCK,
+    ExecutionContext,
+    Machine,
+    PushCall,
+)
+from repro.runtime.channel import ChannelMatrix, Message, SpawnMessage
+
+
+class WorkerGroup:
+    """The workers and channels of one application thread."""
+
+    def __init__(self, runtime: "PrivagicRuntime", group_id: int):
+        self.runtime = runtime
+        self.group_id = group_id
+        self.matrix = ChannelMatrix()
+        #: color -> worker context (the untrusted "worker" is the
+        #: application thread itself and is not stored here)
+        self.workers: Dict[str, ExecutionContext] = {}
+
+    def worker(self, color: str) -> ExecutionContext:
+        if color not in self.workers:
+            machine = self.runtime.machine
+            ctx = ExecutionContext(machine, None, (), mode=color,
+                                   name=f"worker.{self.group_id}.{color}")
+            ctx.keep_alive = True
+            ctx.privagic_group = self
+            machine.contexts.append(ctx)
+            self.workers[color] = ctx
+        return self.workers[color]
+
+
+class RuntimeStats:
+    """Counters feeding the evaluation (message = boundary crossing)."""
+
+    def __init__(self):
+        self.spawns = 0
+        self.values = 0
+        self.tokens = 0
+        self.boundary_crossings = 0
+        self.trampoline_runs = 0
+
+    @property
+    def messages(self) -> int:
+        return self.spawns + self.values + self.tokens
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "spawns": self.spawns,
+            "values": self.values,
+            "tokens": self.tokens,
+            "messages": self.messages,
+            "boundary_crossings": self.boundary_crossings,
+            "trampoline_runs": self.trampoline_runs,
+        }
+
+
+class PrivagicRuntime:
+    """Loads a :class:`PartitionedProgram` and runs it."""
+
+    def __init__(self, program: PartitionedProgram,
+                 externals: Optional[dict] = None,
+                 max_steps: int = 5_000_000):
+        self.program = program
+        self.untrusted = program.untrusted
+        self.stats = RuntimeStats()
+        self.max_steps = max_steps
+        self._groups: Dict[int, WorkerGroup] = {}
+        self._next_group = 1
+        ext = {
+            "__privagic_spawn": self._ext_spawn,
+            "__privagic_send": self._ext_send,
+            "__privagic_recv": self._ext_recv,
+            "__privagic_token_send": self._ext_token_send,
+            "__privagic_token_recv": self._ext_token_recv,
+            "thread_create": self._ext_thread_create,
+        }
+        if externals:
+            ext.update(externals)
+        self.machine = Machine(program.all_modules(), ext)
+
+    # -- group / color helpers ----------------------------------------------------
+
+    def group_of(self, ctx: ExecutionContext) -> WorkerGroup:
+        group = getattr(ctx, "privagic_group", None)
+        if group is None:
+            group = WorkerGroup(self, self._next_group)
+            self._next_group += 1
+            self._groups[group.group_id] = group
+            ctx.privagic_group = group
+        return group
+
+    def color_of(self, ctx: ExecutionContext) -> str:
+        return ctx.mode if ctx.mode is not None else self.untrusted
+
+    # -- externals -------------------------------------------------------------------
+
+    def _ext_spawn(self, machine: Machine, ctx: ExecutionContext, args):
+        chunk = machine.read_cstring(int(args[0]))
+        reply = machine.read_cstring(int(args[1]))
+        f_args = list(args[2:])
+        group = self.group_of(ctx)
+        dst = self.program.chunk_colors.get(chunk)
+        if dst is None:
+            raise RuntimeFault(f"spawn of unknown chunk {chunk!r}")
+        src = self.color_of(ctx)
+        reply_to = src if reply else None
+        group.matrix.channel(src, dst).push(
+            SpawnMessage(chunk, f_args, reply_to))
+        self.stats.spawns += 1
+        # Each F argument is a cont message in the paper's protocol.
+        self.stats.values += len(f_args)
+        self._count_crossing(src, dst, 1 + len(f_args))
+        # Make sure the destination worker exists.
+        if dst != self.untrusted:
+            group.worker(dst)
+        return None
+
+    def _ext_send(self, machine: Machine, ctx: ExecutionContext, args):
+        dst = machine.read_cstring(int(args[0]))
+        value = args[1]
+        src = self.color_of(ctx)
+        group = self.group_of(ctx)
+        group.matrix.channel(src, dst).push(Message("value", value))
+        self.stats.values += 1
+        self._count_crossing(src, dst, 1)
+        return None
+
+    def _ext_recv(self, machine: Machine, ctx: ExecutionContext, args):
+        src = machine.read_cstring(int(args[0]))
+        return self._wait_for(ctx, src, "value")
+
+    def _ext_token_send(self, machine: Machine, ctx: ExecutionContext,
+                        args):
+        dst = machine.read_cstring(int(args[0]))
+        src = self.color_of(ctx)
+        self.group_of(ctx).matrix.channel(src, dst).push(
+            Message("token"))
+        self.stats.tokens += 1
+        self._count_crossing(src, dst, 1)
+        return None
+
+    def _ext_token_recv(self, machine: Machine, ctx: ExecutionContext,
+                        args):
+        src = machine.read_cstring(int(args[0]))
+        result = self._wait_for(ctx, src, "token")
+        if result is BLOCK:
+            return BLOCK
+        if isinstance(result, PushCall):
+            return result
+        return None
+
+    def _wait_for(self, ctx: ExecutionContext, src: str, kind: str):
+        """Wait for a message of ``kind`` from ``src``; while blocked,
+        run incoming spawns as trampolines (Fig 7)."""
+        group = self.group_of(ctx)
+        me = self.color_of(ctx)
+        message = group.matrix.channel(src, me).pop_kind([kind])
+        if message is not None:
+            return message.value
+        trampoline = self._pop_spawn(group, me)
+        if trampoline is not None:
+            return trampoline
+        return BLOCK
+
+    def _pop_spawn(self, group: WorkerGroup,
+                   me: str) -> Optional[PushCall]:
+        for channel in group.matrix.incoming(me):
+            message = channel.pop_kind(["spawn"])
+            if message is not None:
+                return self._trampoline(group, message)
+        return None
+
+    def _trampoline(self, group: WorkerGroup,
+                    message: SpawnMessage) -> PushCall:
+        """Build the chunk invocation for a spawn message: slot the
+        cont-carried F arguments into the chunk's signature and, if a
+        reply is expected, send the return value back (Fig 7: c5)."""
+        chunk_fn = self.machine.function_named(message.chunk)
+        arg_colors = self.program.chunk_args.get(message.chunk, ())
+        f_values = list(message.args)
+        call_args: List[object] = []
+        for color in arg_colors:
+            if color == "F" and f_values:
+                call_args.append(f_values.pop(0))
+            else:
+                call_args.append(0)
+        while len(call_args) < len(chunk_fn.args):
+            call_args.append(0)
+        call_args = call_args[:len(chunk_fn.args)]
+        push = PushCall(chunk_fn, call_args, replay=True)
+        self.stats.trampoline_runs += 1
+        if message.reply_to is not None:
+            dst = message.reply_to
+            me = self.program.chunk_colors[message.chunk]
+
+            def reply(result, dst=dst, me=me, group=group):
+                group.matrix.channel(me, dst).push(
+                    Message("value", result))
+                self.stats.values += 1
+                self._count_crossing(me, dst, 1)
+
+            push.on_return = reply
+        return push
+
+    def _ext_thread_create(self, machine: Machine,
+                           ctx: ExecutionContext, args):
+        """Partitioned programs create application threads through the
+        interface functions; each new thread gets its own worker group.
+        """
+        fn = machine.function_at(int(args[0]))
+        arg = args[1] if len(args) > 1 else 0
+        child = machine.spawn(fn, [arg], mode=None,
+                              name=f"{ctx.name}.child")
+        # A fresh group: workers are per application thread (§7.3).
+        self.group_of(child)
+        return child.ctx_id
+
+    def _count_crossing(self, src: str, dst: str, count: int) -> None:
+        if src != dst:
+            self.stats.boundary_crossings += count
+
+    # -- scheduling ---------------------------------------------------------------------
+
+    def start(self, entry: str, args: Sequence[object] = ()) \
+            -> ExecutionContext:
+        """Spawn the interface function of ``entry`` on a fresh
+        application thread (normal mode)."""
+        ctx = self.machine.spawn(entry, list(args), mode=None,
+                                 name=f"app.{entry}")
+        self.group_of(ctx)
+        return ctx
+
+    def run(self, entry: str = "main",
+            args: Sequence[object] = ()) -> object:
+        """Run ``entry`` to completion and return its result."""
+        main = self.start(entry, args)
+        self.run_until_done(main)
+        return main.result
+
+    def run_until_done(self, main: ExecutionContext) -> None:
+        steps = 0
+        while not self._quiescent(main):
+            progressed = False
+            for ctx in list(self.machine.contexts):
+                if ctx.finished:
+                    continue
+                if ctx.idle:
+                    if not getattr(ctx, "keep_alive", False):
+                        continue
+                    group = getattr(ctx, "privagic_group", None)
+                    if group is None:
+                        continue
+                    push = self._pop_spawn(group, self.color_of(ctx))
+                    if push is not None:
+                        ctx.push_external_call(push.function, push.args)
+                        if push.on_return is not None:
+                            ctx.stack[-1].on_return = push.on_return
+                        progressed = True
+                    continue
+                before = ctx.steps
+                ctx.step()
+                if ctx.steps > before or ctx.finished:
+                    progressed = True
+                steps += 1
+                if steps > self.max_steps:
+                    raise RuntimeFault(
+                        f"partitioned run exceeded {self.max_steps} steps")
+            if not progressed:
+                self._report_deadlock()
+
+    def _quiescent(self, main: ExecutionContext) -> bool:
+        """Done when the application thread finished, every worker is
+        idle and no message is in flight."""
+        if not main.finished:
+            return False
+        for ctx in self.machine.contexts:
+            if not ctx.finished and not ctx.idle:
+                return False
+        for group in self._groups.values():
+            if group.matrix.pending():
+                return False
+        return True
+
+    def _report_deadlock(self) -> None:
+        lines = ["partitioned execution deadlocked:"]
+        for ctx in self.machine.contexts:
+            if ctx.finished:
+                continue
+            where = "idle"
+            if ctx.stack:
+                frame = ctx.stack[-1]
+                instr = (frame.block.instructions[frame.index]
+                         if frame.index < len(frame.block.instructions)
+                         else None)
+                where = (f"@{frame.function.name}:{frame.block.name} "
+                         f"{instr.opcode if instr else '?'}")
+            lines.append(f"  {ctx.name} mode={ctx.mode}: {where}")
+        for group in self._groups.values():
+            for key, channel in sorted(group.matrix.channels.items()):
+                if len(channel):
+                    lines.append(f"  pending {channel!r}: "
+                                 f"{list(channel.queue)[:4]}")
+        raise RuntimeFault("\n".join(lines))
+
+
+def run_partitioned(program: PartitionedProgram, entry: str = "main",
+                    args: Sequence[object] = (),
+                    externals: Optional[dict] = None,
+                    max_steps: int = 5_000_000
+                    ) -> Tuple[object, PrivagicRuntime]:
+    """Convenience wrapper: load, run, return (result, runtime)."""
+    runtime = PrivagicRuntime(program, externals, max_steps)
+    result = runtime.run(entry, args)
+    return result, runtime

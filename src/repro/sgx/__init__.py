@@ -1,0 +1,50 @@
+"""repro.sgx — an Intel SGX simulator (paper §2.1).
+
+The simulator provides the three things the evaluation depends on:
+
+* **Isolation semantics** (:mod:`repro.sgx.processor`): an access
+  policy for the interpreter enforcing the two processor modes — in
+  normal mode the processor cannot touch enclave memory; in enclave
+  mode it can touch the active enclave and unsafe memory but not other
+  enclaves.  An :class:`~repro.sgx.processor.Attacker` models the
+  §4 adversary: full control of unsafe memory, no access to enclaves.
+
+* **Cost model** (:mod:`repro.sgx.costmodel`): cycle-accurate *classes*
+  of cost — LLC hits/misses (with the ×5.6–9.5 in-enclave miss
+  penalty measured by Eleos, paper [30]), EPC paging beyond the
+  93 MiB (machine A) or 8 GiB (machine B) EPC, enclave transitions for
+  SDK ecalls, Scone switchless syscalls and Privagic lock-free
+  messages.
+
+* **Cache / paging estimators** (:mod:`repro.sgx.cache`): analytic
+  miss-ratio models for the uniform, zipfian and scan access patterns
+  of the YCSB workloads, validated against the instrumented data
+  structures (see ``benchmarks/bench_ablation_cachemodel.py``).
+
+* **Enclave lifecycle** (:mod:`repro.sgx.enclave`): creation,
+  measurement (attestation hash over the loaded module text) and EPC
+  occupancy accounting.
+"""
+
+from repro.sgx.processor import SGXAccessPolicy, Attacker
+from repro.sgx.costmodel import (
+    CostParams,
+    MACHINE_A,
+    MACHINE_B,
+    CostMeter,
+)
+from repro.sgx.cache import (
+    miss_ratio_uniform,
+    miss_ratio_zipfian,
+    miss_ratio_scan,
+    epc_fault_ratio,
+)
+from repro.sgx.enclave import Enclave, EnclaveManager
+
+__all__ = [
+    "SGXAccessPolicy", "Attacker",
+    "CostParams", "MACHINE_A", "MACHINE_B", "CostMeter",
+    "miss_ratio_uniform", "miss_ratio_zipfian", "miss_ratio_scan",
+    "epc_fault_ratio",
+    "Enclave", "EnclaveManager",
+]

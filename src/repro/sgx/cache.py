@@ -1,0 +1,73 @@
+"""Analytic LLC miss-ratio and EPC fault-ratio estimators.
+
+The Figure 8/9/10 experiments run millions of YCSB operations over
+working sets from 1 MiB to 32 GiB; simulating every cache line is not
+feasible (nor was it what the authors measured — they report the
+aggregate LLC-miss effects, §9.2.3).  These estimators give the
+*shape* the paper describes:
+
+* a **uniform** pattern over a working set ``W`` touches the LLC
+  ``L`` with hit probability ``L/W`` (tree lookups in Fig 9 — "the
+  uniform access pattern leads to many LLC misses");
+* a **zipfian** pattern keeps its hot head resident: with Zipf
+  exponent near 1, the fraction of accesses to the hottest ``k`` of
+  ``n`` keys is about ``ln k / ln n`` (the hashmap in Fig 9 — "the
+  zipfian access pattern leads to fewer LLC misses");
+* a **scan** streams its working set and misses on every new line
+  (the linked-list traversal).
+
+The ablation bench compares these estimates against the access counts
+of the instrumented data structures.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def miss_ratio_uniform(working_set: float, cache_bytes: float) -> float:
+    """Uniform random accesses over ``working_set`` bytes."""
+    if working_set <= 0 or working_set <= cache_bytes:
+        return 0.02  # cold/coherence floor
+    return max(0.02, 1.0 - cache_bytes / working_set)
+
+
+def miss_ratio_zipfian(n_items: int, item_bytes: float,
+                       cache_bytes: float,
+                       theta: float = 0.99) -> float:
+    """Zipfian accesses over ``n_items`` records.
+
+    With exponent ``theta`` close to 1, the probability mass of the
+    hottest ``k`` items is about ``H(k)/H(n) ≈ ln(k)/ln(n)``; items
+    beyond the cache miss.
+    """
+    if n_items <= 0:
+        return 0.02
+    working_set = n_items * item_bytes
+    if working_set <= cache_bytes:
+        return 0.02
+    k = max(1.0, cache_bytes / item_bytes)
+    if k >= n_items:
+        return 0.02
+    hot_fraction = math.log(k + 1.0) / math.log(n_items + 1.0)
+    return max(0.02, 1.0 - hot_fraction)
+
+
+def miss_ratio_scan(scanned_bytes: float, cache_bytes: float) -> float:
+    """A streaming scan: everything beyond the cache misses once per
+    line (reuse within a line is a hit, handled by access counting)."""
+    if scanned_bytes <= cache_bytes:
+        return 0.05
+    return 0.95
+
+
+def epc_fault_ratio(enclave_resident: float, epc_bytes: float,
+                    locality: float = 1.0) -> float:
+    """Fraction of enclave LLC misses that additionally fault on the
+    EPC.  Zero while the enclave fits; beyond that, the excess fraction
+    of the resident set faults, scaled by ``locality`` (1.0 = uniform;
+    smaller = hot-set-friendly patterns fault less)."""
+    if enclave_resident <= epc_bytes or epc_bytes <= 0:
+        return 0.0
+    excess = 1.0 - epc_bytes / enclave_resident
+    return min(0.95, excess * locality)

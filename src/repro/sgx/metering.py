@@ -1,0 +1,67 @@
+"""IR-level cost metering: attach a :class:`CostMeter` to a running
+:class:`~repro.ir.interp.Machine`.
+
+The Figure 8-10 experiments use analytic access counts; this module
+does the converse: it charges the cost model from *actual* memory
+accesses of an interpreted run (mode-aware: enclave accesses pay the
+amplified miss price) and from the runtime's message counters.  Used
+by tests and the metering ablation to cross-check the two levels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.interp import ExecutionContext, Machine, UNSAFE_REGION
+from repro.sgx.costmodel import CostMeter, CostParams, MACHINE_A
+
+
+class MachineMeter:
+    """Observes a machine's memory traffic and charges a cost meter.
+
+    A crude one-slot-granularity cache model decides hits/misses: the
+    most recently used ``resident_slots`` addresses are hits — enough
+    to rank deployments on small IR-level runs without pretending to
+    be the analytic model of :mod:`repro.sgx.cache`.
+    """
+
+    def __init__(self, machine: Machine,
+                 params: CostParams = MACHINE_A,
+                 resident_slots: int = 4096):
+        self.machine = machine
+        self.meter = CostMeter(params)
+        self.resident_slots = resident_slots
+        self._lru: Dict[int, int] = {}
+        self._tick = 0
+        self.accesses_by_region: Dict[str, int] = {}
+        machine.access_hooks.append(self._on_access)
+
+    def _on_access(self, ctx: ExecutionContext, addr: int, region: str,
+                   rw: str) -> None:
+        self._tick += 1
+        self.accesses_by_region[region] = \
+            self.accesses_by_region.get(region, 0) + 1
+        hit = addr in self._lru
+        self._lru[addr] = self._tick
+        if len(self._lru) > self.resident_slots:
+            victim = min(self._lru, key=self._lru.get)
+            del self._lru[victim]
+        in_enclave = ctx.mode is not None
+        self.meter.memory_accesses(1, 0.0 if hit else 1.0, in_enclave)
+
+    def charge_runtime_messages(self, runtime) -> None:
+        """Add the boundary-crossing costs of a Privagic runtime."""
+        self.meter.privagic_messages(runtime.stats.messages)
+
+    def enclave_access_fraction(self) -> float:
+        total = sum(self.accesses_by_region.values())
+        if not total:
+            return 0.0
+        enclave = sum(count for region, count in
+                      self.accesses_by_region.items()
+                      if region != UNSAFE_REGION)
+        return enclave / total
+
+    @property
+    def cycles(self) -> float:
+        return self.meter.cycles

@@ -1,0 +1,32 @@
+"""repro.workloads — YCSB workload generation (paper [15]).
+
+The evaluation drives memcached and the data structures with YCSB:
+zipfian / uniform / latest request distributions, standard workload
+mixes (A: 50/50 read-update, B: 95/5, C: read-only, ...), 8-byte keys
+and 1024-byte values (§9.2, §9.3).
+"""
+
+from repro.workloads.distributions import (
+    UniformGenerator,
+    ZipfianGenerator,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+)
+from repro.workloads.ycsb import (
+    Operation,
+    Workload,
+    WorkloadSpec,
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_F,
+)
+
+__all__ = [
+    "UniformGenerator", "ZipfianGenerator", "LatestGenerator",
+    "ScrambledZipfianGenerator",
+    "Operation", "Workload", "WorkloadSpec",
+    "WORKLOAD_A", "WORKLOAD_B", "WORKLOAD_C", "WORKLOAD_D",
+    "WORKLOAD_F",
+]

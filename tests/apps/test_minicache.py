@@ -1,0 +1,178 @@
+"""Tests for minicache: protocol, LRU, server, client, YCSB driving,
+and the MiniC twin sources of Table 4."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.minicache import (
+    LRUIndex,
+    MiniCache,
+    MiniCacheClient,
+)
+from repro.apps.minicache import protocol
+from repro.apps.minicache.client import run_ycsb
+from repro.apps.minicache.server import WorkerPool
+from repro.workloads import Workload, WORKLOAD_B
+
+
+# -- protocol -----------------------------------------------------------------
+
+
+def test_protocol_roundtrip_set_get():
+    req = protocol.parse_request(protocol.encode_set("k1", b"hello"))
+    assert req.command == "set" and req.key == "k1"
+    assert req.data == b"hello"
+    req = protocol.parse_request(protocol.encode_get("k1"))
+    assert req.command == "get" and req.key == "k1"
+
+
+def test_protocol_value_response():
+    text = protocol.encode_value("k", b"abc")
+    assert protocol.parse_value_response(text) == b"abc"
+    assert protocol.parse_value_response(protocol.END) is None
+
+
+def test_protocol_errors():
+    with pytest.raises(protocol.ProtocolError):
+        protocol.parse_request("bogus\r\n")
+    with pytest.raises(protocol.ProtocolError):
+        protocol.parse_request("set k 0 0 10\r\nshort\r\n")
+    with pytest.raises(protocol.ProtocolError):
+        protocol.parse_request("get\r\n")
+
+
+# -- LRU -----------------------------------------------------------------------
+
+
+def test_lru_eviction_order():
+    lru = LRUIndex(capacity_bytes=30)
+    assert lru.add("a", 10) == []
+    assert lru.add("b", 10) == []
+    assert lru.add("c", 10) == []
+    lru.touch("a")                       # a is now MRU
+    assert lru.add("d", 10) == ["b"]     # b was LRU
+    assert lru.lru_order() == ["d", "a", "c"]
+
+
+def test_lru_replace_updates_size():
+    lru = LRUIndex(capacity_bytes=100)
+    lru.add("k", 40)
+    lru.add("k", 10)
+    assert lru.used_bytes == 10
+    assert len(lru) == 1
+
+
+def test_lru_remove():
+    lru = LRUIndex(capacity_bytes=100)
+    lru.add("k", 10)
+    assert lru.remove("k")
+    assert not lru.remove("k")
+    assert lru.used_bytes == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from(["add", "touch", "rm"]),
+                              st.integers(0, 8)), max_size=80))
+def test_lru_budget_invariant(ops):
+    """Property: the byte budget is never exceeded after an add."""
+    lru = LRUIndex(capacity_bytes=50)
+    for kind, key in ops:
+        if kind == "add":
+            lru.add(key, 12)
+            assert lru.used_bytes <= 50 or len(lru) == 1
+        elif kind == "touch":
+            lru.touch(key)
+        else:
+            lru.remove(key)
+        assert len(lru.lru_order()) == len(lru)
+
+
+# -- server -----------------------------------------------------------------------
+
+
+def test_cache_set_get_delete():
+    cache = MiniCache()
+    cache.set("user1", b"v1")
+    assert cache.get("user1") == b"v1"
+    assert cache.get("nope") is None
+    assert cache.delete("user1")
+    assert cache.get("user1") is None
+    assert cache.stats.sets == 1
+    assert cache.stats.gets == 3
+    assert cache.stats.hits == 1
+
+
+def test_cache_eviction_under_pressure():
+    cache = MiniCache(capacity_bytes=100)
+    for i in range(20):
+        cache.set(f"k{i}", b"x" * 20)
+    assert cache.stats.evictions > 0
+    assert len(cache) < 20
+    # The most recent key survived.
+    assert cache.get("k19") == b"x" * 20
+
+
+def test_protocol_endpoint():
+    cache = MiniCache()
+    assert cache.handle(protocol.encode_set("a", b"1")) == \
+        protocol.STORED
+    assert protocol.parse_value_response(
+        cache.handle(protocol.encode_get("a"))) == b"1"
+    assert cache.handle(protocol.encode_delete("a")) == protocol.DELETED
+    assert cache.handle(protocol.encode_delete("a")) == \
+        protocol.NOT_FOUND
+    assert cache.handle("junk\r\n") == protocol.ERROR
+    assert cache.stats.bad_requests == 1
+
+
+def test_worker_pool_round_robin():
+    cache = MiniCache()
+    pool = WorkerPool(cache, workers=3)
+    for i in range(9):
+        pool.submit(protocol.encode_set(f"k{i}", b"v"))
+    assert pool.per_worker_requests == [3, 3, 3]
+    assert pool.total_requests == 9
+
+
+def test_ycsb_drives_the_cache():
+    cache = MiniCache()
+    pool = WorkerPool(cache, workers=6)
+    client = MiniCacheClient(pool.submit)
+    workload = Workload(WORKLOAD_B, record_count=50,
+                        operation_count=500, seed=9)
+    counters = run_ycsb(client, workload)
+    assert counters["read"] + counters["update"] == 500
+    assert counters["hits"] > 0
+    assert cache.stats.gets >= counters["read"]
+
+
+# -- the MiniC twin (Table 4 subject) -----------------------------------------------
+
+
+def test_minic_sources_agree_functionally():
+    from repro.apps.minicache.minic_source import (
+        ANNOTATED_SOURCE, DECLASSIFY_EXTERNALS, PRISTINE_SOURCE)
+    from repro.core.compiler import compile_and_partition
+    from repro.frontend import compile_source
+    from repro.ir.interp import Machine
+    from repro.runtime import PrivagicRuntime
+    from repro.sgx import SGXAccessPolicy
+
+    machine = Machine(compile_source(PRISTINE_SOURCE))
+    expected = machine.run_function("run_cache", [40])
+    program = compile_and_partition(ANNOTATED_SOURCE, mode="hardened")
+    runtime = PrivagicRuntime(program, DECLASSIFY_EXTERNALS,
+                              max_steps=30_000_000)
+    SGXAccessPolicy().attach(runtime.machine)
+    assert runtime.run("run_cache", [40]) == expected
+    assert runtime.stats.spawns > 0
+
+
+def test_minic_modified_lines_is_modest():
+    """§9.2.1: the Privagic port of memcached modifies 9 lines; our
+    minicache port stays in the same ballpark (< 20)."""
+    from repro.apps.minicache.minic_source import modified_lines
+    count, lines = modified_lines()
+    assert 9 <= count <= 20
+    assert any("color(store)" in l for l in lines)
+    assert any("declassify" in l for l in lines)

@@ -1,0 +1,178 @@
+"""The Figure 3 experiment: data flow analysis vs secure typing.
+
+The paper's central motivation: a sequential, flow-sensitive data-flow
+tool concludes the sensitive value can only reach ``a``, protects
+``a``, and is then defeated by a pointer mutation performed in
+parallel by another thread.  Privagic's type system rejects the same
+program at compile time.
+"""
+
+import pytest
+
+from repro.baselines import (
+    AbstractInterpTaint,
+    AndersenTaint,
+    UseDefTaint,
+    apply_dataflow_placement,
+)
+from repro.core import analyze_module
+from repro.core.colors import HARDENED
+from repro.errors import SecureTypeError
+from repro.frontend import compile_source
+from repro.ir.interp import Machine
+from repro.sgx import Attacker
+
+SECRET = 424243
+
+#: Figure 3a — no Privagic colors; the data-flow tool is told that
+#: f's parameter s is sensitive (Glamdring-style annotation).
+FIG3A_SOURCE = """
+    long a;
+    long b;
+    long* x;
+
+    void f(long s) {
+        x = &a;
+        *x = s;
+    }
+
+    void g(long unused) {
+        x = &b;
+    }
+"""
+
+
+def fresh_module():
+    return compile_source(FIG3A_SOURCE)
+
+
+def analysis_roots():
+    return {"sensitive_params": [("f", "s")]}
+
+
+# -- what each analysis concludes -------------------------------------------------
+
+
+def test_abstract_interpretation_protects_only_a():
+    """Flow-sensitive strong updates: at `*x = s`, x points exactly to
+    {a}; the tool protects a and leaves b unprotected."""
+    module = fresh_module()
+    analysis = AbstractInterpTaint(module, **analysis_roots())
+    assert analysis.partition.protected_globals == {"a"}
+
+
+def test_usedef_chains_protect_nothing():
+    """Privtrans-style use-def chains do not model pointers at all
+    (Table 1: 'does not support pointers'): the store through x is
+    invisible."""
+    module = fresh_module()
+    analysis = UseDefTaint(module, **analysis_roots())
+    assert analysis.partition.protected_globals == set()
+
+
+def test_andersen_protects_both():
+    """Flow-insensitive points-to is sound here but coarse: x may
+    point to {a, b}, so both get protected."""
+    module = fresh_module()
+    analysis = AndersenTaint(module, **analysis_roots())
+    assert analysis.partition.protected_globals == {"a", "b"}
+
+
+# -- the runtime attack ------------------------------------------------------------
+
+
+def leak_under_interleaving(protected_globals) -> bool:
+    """Search thread interleavings of f and g for one that lands the
+    secret in unsafe memory.  Returns True if some interleaving leaks.
+    """
+    for prefix in range(1, 40):
+        module = fresh_module()
+        for name in protected_globals:
+            gv = module.get_global(name)
+            gv.value_type = gv.value_type.with_color("dfenclave")
+        machine = Machine(module)
+        ctx_f = machine.spawn("f", [SECRET], mode="dfenclave",
+                              name="thread-f")
+        ctx_g = machine.spawn("g", [0], mode=None, name="thread-g")
+        # Run f for `prefix` steps, then let g run to completion, then
+        # finish f — the hidden pointer modification of Figure 3.
+        for _ in range(prefix):
+            if ctx_f.finished:
+                break
+            ctx_f.step()
+        while not ctx_g.finished:
+            ctx_g.step()
+        while not ctx_f.finished:
+            ctx_f.step()
+        if Attacker(machine).scan_for(SECRET):
+            return True
+    return False
+
+
+def test_dataflow_partitioning_leaks_under_concurrency():
+    """The complete Figure 3 story: the Glamdring-style partition
+    (protect a only) leaks the secret under a specific interleaving."""
+    module = fresh_module()
+    analysis = AbstractInterpTaint(module, **analysis_roots())
+    assert leak_under_interleaving(analysis.partition.protected_globals)
+
+
+def test_andersen_partitioning_survives_concurrency():
+    module = fresh_module()
+    analysis = AndersenTaint(module, **analysis_roots())
+    assert not leak_under_interleaving(
+        analysis.partition.protected_globals)
+
+
+def test_sequential_execution_does_not_leak():
+    """Without the interleaving, the data-flow partition is fine —
+    that is exactly why sequential analysis believes it is correct."""
+    module = fresh_module()
+    analysis = AbstractInterpTaint(module, **analysis_roots())
+    for name in analysis.partition.protected_globals:
+        gv = module.get_global(name)
+        gv.value_type = gv.value_type.with_color("dfenclave")
+    machine = Machine(module)
+    ctx_f = machine.spawn("f", [SECRET], mode="dfenclave")
+    while not ctx_f.finished:
+        ctx_f.step()
+    ctx_g = machine.spawn("g", [0], mode=None)
+    while not ctx_g.finished:
+        ctx_g.step()
+    assert Attacker(machine).scan_for(SECRET) == []
+
+
+# -- Privagic on the same program -----------------------------------------------------
+
+
+FIG3B_SOURCE = """
+    long color(blue) a;
+    long b;
+    long color(blue)* x;
+
+    void f(long color(blue) s) {
+        x = &a;
+        *x = s;
+    }
+
+    void g(long unused) {
+        x = &b;   /* FAIL */
+    }
+
+    entry void run(long s) { f(s); g(0); }
+"""
+
+
+def test_privagic_rejects_the_same_program():
+    module = compile_source(FIG3B_SOURCE)
+    with pytest.raises(SecureTypeError) as excinfo:
+        analyze_module(module, HARDENED)
+    assert excinfo.value.rule in ("store", "cast")
+
+
+def test_apply_dataflow_placement_helper():
+    module = fresh_module()
+    analysis = AbstractInterpTaint(module, **analysis_roots())
+    names = apply_dataflow_placement(module, analysis.partition)
+    assert names == ["a"]
+    assert module.get_global("a").color == "dfenclave"

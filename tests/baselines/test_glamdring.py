@@ -1,0 +1,62 @@
+"""Tests for the Glamdring-style end-to-end partitioner."""
+
+from repro.baselines.dataflow.glamdring import glamdring_partition
+from repro.frontend import compile_source
+
+SOURCE = """
+    long secret_store = 0;
+    long audit = 0;
+
+    long obfuscate(long v) { return v * 31 + 7; }
+
+    void protect(long s) {
+        secret_store = obfuscate(s);
+    }
+
+    void log_request() {
+        audit = audit + 1;
+    }
+
+    entry void handle(long s) {
+        protect(s);
+        log_request();
+    }
+"""
+
+
+def test_function_granularity_split():
+    module = compile_source(SOURCE)
+    partition = glamdring_partition(
+        module, sensitive_params=[("protect", "s")])
+    # Functions touching sensitive data (and their callees) go in.
+    assert "protect" in partition.enclave_functions
+    assert "obfuscate" in partition.enclave_functions
+    # Pure bookkeeping stays out.
+    assert "log_request" not in partition.enclave_functions
+    assert partition.enclave_globals == {"secret_store"}
+
+
+def test_tcb_is_a_fraction():
+    module = compile_source(SOURCE)
+    partition = glamdring_partition(
+        module, sensitive_params=[("protect", "s")])
+    whole = module.instruction_count()
+    assert 0 < partition.tcb_instructions() < whole
+
+
+def test_boundary_ecalls_identified():
+    module = compile_source(SOURCE)
+    partition = glamdring_partition(
+        module, sensitive_params=[("protect", "s")])
+    # handle (untrusted) calls protect (enclave): an ecall boundary.
+    assert "protect" in partition.ecall_targets or \
+        "handle" in partition.ecall_targets
+
+
+def test_apply_placement_colors_globals():
+    module = compile_source(SOURCE)
+    partition = glamdring_partition(
+        module, sensitive_params=[("protect", "s")])
+    placed = partition.apply_placement()
+    assert placed == ["secret_store"]
+    assert module.get_global("secret_store").color == "dfenclave"

@@ -1,0 +1,315 @@
+"""Secure type system tests built from the paper's own examples."""
+
+import pytest
+
+from repro.core import analyze_module
+from repro.core.analysis import AnalysisResult, location_color
+from repro.core.colors import F, HARDENED, RELAXED, S, U
+from repro.errors import SecureTypeError
+from repro.frontend import compile_source
+
+
+def analyze(source: str, mode: str = HARDENED, check: bool = True,
+            entries=None) -> AnalysisResult:
+    module = compile_source(source)
+    return analyze_module(module, mode, entries=entries, check=check)
+
+
+# -- Figure 3b: hidden pointer modification ---------------------------------------
+
+FIG3_SOURCE = """
+    int color(blue) a;
+    int b;
+    int color(blue)* x;
+
+    void f(int color(blue) s) {
+        x = &a;
+        *x = s;
+    }
+
+    void g() {
+        x = &b;   /* FAIL: &b is a pointer to uncolored memory */
+    }
+
+    entry int main() {
+        f(42);
+        g();
+        return 0;
+    }
+"""
+
+
+def test_fig3_secure_typing_rejects_uncolored_pointer():
+    with pytest.raises(SecureTypeError) as excinfo:
+        analyze(FIG3_SOURCE)
+    # `&b` is a pointer to an uncolored location: rejected either at
+    # the implicit pointer conversion (cast) or at the store.
+    assert excinfo.value.rule in ("store", "cast")
+    assert set(excinfo.value.colors) == {"blue", U}
+
+
+def test_fig3_correctly_colored_variant_passes():
+    source = FIG3_SOURCE.replace("int b;", "int color(blue) b;")
+    result = analyze(source)
+    assert not result.errors
+    f_spec = result.functions[result.entry_specs["main"]]
+    assert "blue" in result.all_colors()
+
+
+# -- Figure 4: implicit indirect leak -----------------------------------------------
+
+FIG4_SOURCE = """
+    int x = 0;
+    int y = 0;
+    int color(blue) b;
+
+    entry void f() {
+        if (b == 42)
+            x = 1;     /* indirect leak: x reveals b == 42 */
+        y = 2;          /* after the join: not sensitive */
+    }
+"""
+
+
+def test_fig4_implicit_leak_detected():
+    with pytest.raises(SecureTypeError) as excinfo:
+        analyze(FIG4_SOURCE)
+    assert excinfo.value.rule == "block-color"
+
+
+def test_fig4_join_point_not_colored():
+    # Moving the leaking store out of the branch fixes the program:
+    # the joining point does not carry sensitive information (§6.1.1).
+    source = """
+        int color(blue) x = 0;
+        int y = 0;
+        int color(blue) b;
+
+        entry void f() {
+            if (b == 42)
+                x = 1;    /* fine: x is blue */
+            y = 2;         /* fine: join point */
+        }
+    """
+    result = analyze(source)
+    assert not result.errors
+
+
+# -- direct leaks (Rule 3) -------------------------------------------------------------
+
+def test_direct_leak_store_to_unsafe_global():
+    with pytest.raises(SecureTypeError) as excinfo:
+        analyze("""
+            int color(red) secret;
+            int out;
+            entry void leak() { out = secret; }
+        """)
+    assert excinfo.value.rule == "store"
+
+
+def test_explicit_indirect_leak_through_computation():
+    # secret + 1 carries the color of secret (Rule 2); storing it in
+    # unsafe memory is rejected.
+    with pytest.raises(SecureTypeError):
+        analyze("""
+            int color(red) secret;
+            int out;
+            entry void leak() { out = secret + 1; }
+        """)
+
+
+def test_colored_computation_stays_in_enclave():
+    result = analyze("""
+        int color(red) secret;
+        int color(red) derived;
+        entry void ok() { derived = secret * 2 + 1; }
+    """)
+    assert not result.errors
+    fa = result.functions[result.entry_specs["ok"]]
+    assert fa.color_set == {"red"}
+
+
+# -- Iago rule (two different colors as inputs) ------------------------------------------
+
+def test_mixing_two_enclave_colors_rejected():
+    with pytest.raises(SecureTypeError):
+        analyze("""
+            int color(red) r;
+            int color(blue) b;
+            int color(red) out;
+            entry void mix() { out = r + b; }
+        """)
+
+
+def test_hardened_mode_rejects_untrusted_input_to_enclave():
+    # In hardened mode a value loaded from unsafe memory is U, and a
+    # red instruction cannot consume it (Iago protection).
+    with pytest.raises(SecureTypeError):
+        analyze("""
+            int unsafe_input;
+            int color(red) out;
+            entry void f() { out = out + unsafe_input; }
+        """, mode=HARDENED)
+
+
+def test_relaxed_mode_allows_untrusted_input_to_enclave():
+    # In relaxed mode a value loaded from S becomes F and may flow
+    # into an enclave — no Iago protection (§6.1.2).
+    result = analyze("""
+        int unsafe_input;
+        int color(red) out;
+        entry void f() { out = out + unsafe_input; }
+    """, mode=RELAXED)
+    assert not result.errors
+
+
+# -- external calls (§6.3) ------------------------------------------------------------------
+
+def test_external_call_with_colored_argument_rejected():
+    with pytest.raises(SecureTypeError) as excinfo:
+        analyze("""
+            extern void send(int v);
+            int color(red) secret;
+            entry void f() { send(secret); }
+        """)
+    assert excinfo.value.rule == "external-arg"
+
+
+def test_external_call_result_is_untrusted_in_hardened_mode():
+    with pytest.raises(SecureTypeError):
+        analyze("""
+            extern int recv();
+            int color(red) secret;
+            entry void f() { secret = recv() + secret; }
+        """, mode=HARDENED)
+
+
+def test_within_call_executes_in_enclave():
+    result = analyze("""
+        int color(red) key;
+        int color(red) h;
+        entry void f() { h = hash64(key); }
+    """)
+    assert not result.errors
+    fa = result.functions[result.entry_specs["f"]]
+    assert fa.color_set == {"red"}
+
+
+def test_ignore_call_declassifies():
+    # hash64 marked ignore: its result is free and may be stored in
+    # unsafe memory (the paper's hashmap bucket-index declassification,
+    # §9.3.1).
+    result = analyze("""
+        ignore long hash_declass(long v);
+        long color(red) key;
+        long bucket;
+        entry void f() { bucket = hash_declass(key); }
+    """)
+    assert not result.errors
+
+
+# -- specialization (§6.2) ----------------------------------------------------------------------
+
+def test_function_specialized_per_argument_colors():
+    result = analyze("""
+        int color(blue) bg;
+        int color(red) rg;
+        int identity(int v) { return v; }
+        entry void f() {
+            bg = identity(bg);
+            rg = identity(rg);
+        }
+    """)
+    assert not result.errors
+    specs = {name for name in result.functions if
+             name.startswith("identity$")}
+    assert specs == {"identity$blue", "identity$red"}
+    assert result.functions["identity$blue"].return_color == "blue"
+    assert result.functions["identity$red"].return_color == "red"
+
+
+def test_entry_point_arguments_untrusted_in_hardened_mode():
+    result = analyze("""
+        entry int main(int argc) { return argc; }
+    """, mode=HARDENED)
+    spec = result.functions[result.entry_specs["main"]]
+    assert spec.arg_colors == (U,)
+    result = analyze("""
+        entry int main(int argc) { return argc; }
+    """, mode=RELAXED)
+    spec = result.functions[result.entry_specs["main"]]
+    assert spec.arg_colors == (F,)
+
+
+# -- paper Figure 6 (the running example) ----------------------------------------------------------
+
+FIG6_SOURCE = """
+    int color(U) unsafe_g = 0;
+    int color(blue) blue_g = 10;
+    int color(red) red_g = 0;
+
+    void g(int n) {
+        blue_g = n;
+        red_g = n;
+        printf("Hello\\n");
+    }
+
+    int f(int y) {
+        g(21);
+        return 42;
+    }
+
+    entry int main() {
+        unsafe_g = 1;
+        int x = f(blue_g);
+        return x;
+    }
+"""
+
+
+def test_fig6_color_sets():
+    # Paper §7.3.1: colorset(main) = {blue, U}, colorset(f$blue) =
+    # {blue}, colorset(g$F) = {red, blue, U}.
+    result = analyze(FIG6_SOURCE, mode=RELAXED)
+    assert not result.errors
+    by_template = {}
+    for name, fa in result.functions.items():
+        by_template.setdefault(name.split("$")[0], fa)
+    assert by_template["main"].color_set == {"blue", S}
+    assert by_template["f"].color_set == {"blue"}
+    assert by_template["g"].color_set == {"red", "blue", S}
+
+
+# -- misc semantics ---------------------------------------------------------------------------------
+
+def test_location_color_derives_pointer_colors():
+    from repro.ir.types import IntType, PointerType
+    blue_int = IntType(32, "blue")
+    assert location_color(blue_int, HARDENED) == "blue"
+    assert location_color(PointerType(blue_int), HARDENED) == "blue"
+    assert location_color(PointerType(PointerType(blue_int)),
+                          HARDENED) == "blue"
+    assert location_color(IntType(32), HARDENED) == U
+    assert location_color(IntType(32), RELAXED) == S
+
+
+def test_union_with_two_colors_rejected():
+    with pytest.raises(SecureTypeError) as excinfo:
+        compile_source("""
+            union secret {
+                int color(blue) a;
+                int color(red) b;
+            };
+            entry int main() { return 0; }
+        """)
+    assert excinfo.value.rule == "union"
+
+
+def test_errors_collected_when_check_false():
+    result = analyze("""
+        int color(red) secret;
+        int out1;
+        int out2;
+        entry void f() { out1 = secret; out2 = secret; }
+    """, check=False)
+    assert len(result.errors) >= 2

@@ -1,0 +1,148 @@
+"""Rule 4 in depth: implicit indirect leaks through control flow
+(paper §4 and §6.1.1, Figure 4)."""
+
+import pytest
+
+from repro.core import analyze_module
+from repro.core.colors import HARDENED, RELAXED
+from repro.errors import SecureTypeError
+from repro.frontend import compile_source
+
+
+def analyze(source, mode=HARDENED, check=True):
+    return analyze_module(compile_source(source), mode, check=check)
+
+
+def test_then_branch_colored():
+    with pytest.raises(SecureTypeError) as excinfo:
+        analyze("""
+            long color(blue) b = 0;
+            long x = 0;
+            entry void f() { if (b == 42) x = 1; }
+        """)
+    assert excinfo.value.rule == "block-color"
+
+
+def test_else_branch_colored_too():
+    with pytest.raises(SecureTypeError):
+        analyze("""
+            long color(blue) b = 0;
+            long x = 0;
+            entry void f() {
+                if (b == 42) { } else { x = 1; }
+            }
+        """)
+
+
+def test_join_point_not_colored():
+    # Figure 4's basic block C: "y = 2" after the join is fine.
+    assert not analyze("""
+        long color(blue) b = 0;
+        long color(blue) x = 0;
+        long y = 0;
+        entry void f() {
+            if (b == 42) x = 1;
+            y = 2;
+        }
+    """).errors
+
+
+def test_nested_same_color_ok():
+    assert not analyze("""
+        long color(blue) b = 0;
+        long color(blue) x = 0;
+        entry void f() {
+            if (b > 10) {
+                if (b > 20) x = 2;
+                else x = 1;
+            }
+        }
+    """).errors
+
+
+def test_nested_different_colors_rejected():
+    with pytest.raises(SecureTypeError) as excinfo:
+        analyze("""
+            long color(blue) b = 0;
+            long color(red) r = 0;
+            long color(red) x = 0;
+            entry void f() {
+                if (b > 10) {
+                    if (r > 20) x = 2;
+                }
+            }
+        """, check=False).check()
+    assert excinfo.value.rule in ("block-color", "op")
+
+
+def test_phi_merging_region_values_is_colored():
+    # `x = b == 42 ? 5 : 7` leaks b through the selected constant:
+    # the phi at the join carries the branch color.
+    with pytest.raises(SecureTypeError):
+        analyze("""
+            long color(blue) b = 0;
+            long x = 0;
+            entry void f() { x = b == 42 ? 5 : 7; }
+        """)
+
+
+def test_colored_ternary_into_colored_target_ok():
+    assert not analyze("""
+        long color(blue) b = 0;
+        long color(blue) x = 0;
+        entry void f() { x = b == 42 ? 5 : 7; }
+    """).errors
+
+
+def test_external_call_under_colored_condition_rejected():
+    # An observable action (printf) conditioned on blue data reveals
+    # the condition.
+    with pytest.raises(SecureTypeError) as excinfo:
+        analyze("""
+            long color(blue) b = 0;
+            entry void f() {
+                if (b == 42) printf("hit\\n");
+            }
+        """)
+    assert excinfo.value.rule in ("block-color", "external-arg")
+
+
+def test_colored_loop_body_stays_in_enclave():
+    result = analyze("""
+        long color(blue) n = 10;
+        long color(blue) total = 0;
+        entry void f() {
+            long color(blue) i = 0;
+            while (i < n) {
+                total = total + i;
+                i = i + 1;
+            }
+        }
+    """)
+    assert not result.errors
+    fa = result.functions[result.entry_specs["f"]]
+    assert fa.color_set == {"blue"}
+
+
+def test_untrusted_condition_does_not_color_blocks():
+    # Branching on untrusted data is the baseline service pattern
+    # (DESIGN.md §5b): the request loop may invoke enclave work.
+    assert not analyze("""
+        long requests = 5;
+        long color(blue) counter = 0;
+        entry void f() {
+            if (requests > 0) counter = counter + 1;
+        }
+    """, mode=RELAXED).errors
+
+
+def test_declassified_condition_is_free():
+    assert not analyze("""
+        ignore long declassify(long v);
+        long color(blue) b = 0;
+        long x = 0;
+        entry void f() {
+            long hit = declassify(b == 42);
+            if (hit) x = 1;
+        }
+    """).errors

@@ -1,0 +1,100 @@
+"""The color system of Table 2: F, U, S and named enclave colors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.colors import (
+    F,
+    HARDENED,
+    RELAXED,
+    S,
+    U,
+    compatible,
+    is_free,
+    is_named,
+    is_untrusted,
+    join,
+    untrusted_color,
+    validate_color_name,
+)
+from repro.errors import SecureTypeError
+
+COLORS = st.sampled_from([F, U, S, "blue", "red", "green"])
+
+
+def test_table2_initial_colors():
+    # "For a memory location ... the color U (untrusted) in hardened
+    # mode and the color S (shared) in relaxed mode."
+    assert untrusted_color(HARDENED) == U
+    assert untrusted_color(RELAXED) == S
+
+
+def test_f_is_compatible_with_everything():
+    # "F is the only color compatible with any other color."
+    for other in (F, U, S, "blue"):
+        assert compatible(F, other)
+        assert compatible(other, F)
+
+
+def test_u_and_s_incompatible_with_others():
+    # Table 2: "Compatible with: no color" (apart from F).
+    assert not compatible(U, S)
+    assert not compatible(U, "blue")
+    assert not compatible(S, "blue")
+    assert compatible(U, U)
+    assert compatible(S, S)
+
+
+def test_named_colors_only_self_compatible():
+    assert compatible("blue", "blue")
+    assert not compatible("blue", "red")
+
+
+def test_join_takes_the_non_free_color():
+    assert join(F, "blue") == "blue"
+    assert join("blue", F) == "blue"
+    assert join("blue", "blue") == "blue"
+
+
+def test_join_rejects_two_colors():
+    with pytest.raises(SecureTypeError):
+        join("blue", "red")
+    with pytest.raises(SecureTypeError):
+        join(U, "blue")
+
+
+def test_classification_predicates():
+    assert is_free(F) and not is_free("blue")
+    assert is_untrusted(U) and is_untrusted(S)
+    assert is_named("blue") and not is_named(F) and not is_named(S)
+
+
+def test_reserved_names_rejected():
+    with pytest.raises(SecureTypeError):
+        validate_color_name(F)
+    with pytest.raises(SecureTypeError):
+        validate_color_name(S)
+    assert validate_color_name("blue") == "blue"
+
+
+# -- properties --------------------------------------------------------------------
+
+
+@given(a=COLORS, b=COLORS)
+def test_compatibility_is_symmetric(a, b):
+    assert compatible(a, b) == compatible(b, a)
+
+
+@given(a=COLORS)
+def test_compatibility_is_reflexive(a):
+    assert compatible(a, a)
+
+
+@given(a=COLORS, b=COLORS)
+def test_join_agrees_with_compatibility(a, b):
+    if compatible(a, b):
+        result = join(a, b)
+        assert compatible(result, a) and compatible(result, b)
+    else:
+        with pytest.raises(SecureTypeError):
+            join(a, b)

@@ -1,0 +1,253 @@
+"""Table 3, rule by rule.
+
+Each test drives exactly one typing rule through minimal programs:
+the accepting side and every rejecting side the paper names.
+"""
+
+import pytest
+
+from repro.core import analyze_module
+from repro.core.colors import HARDENED, RELAXED, S, U, F
+from repro.errors import SecureTypeError
+from repro.frontend import compile_source
+
+
+def analyze(source, mode=HARDENED, check=True):
+    return analyze_module(compile_source(source), mode, check=check)
+
+
+def rejects(source, rule, mode=HARDENED):
+    with pytest.raises(SecureTypeError) as excinfo:
+        analyze(source, mode)
+    assert excinfo.value.rule == rule, excinfo.value
+    return excinfo.value
+
+
+# -- Rule 1: r = load p --------------------------------------------------------------
+
+
+def test_rule1_load_gives_register_the_location_color():
+    result = analyze("""
+        long color(blue) g = 7;
+        long color(blue) h = 0;
+        entry void f() { h = g; }
+    """)
+    fa = result.functions[result.entry_specs["f"]]
+    loads = [i for i in fa.fn.instructions() if i.opcode == "load"]
+    assert fa.reg_colors[loads[0]] == "blue"
+
+
+def test_rule1_load_from_s_yields_free_register():
+    # Table 2: S "becomes F when loaded".
+    result = analyze("""
+        long shared = 1;
+        long color(blue) sink = 0;
+        entry void f() { sink = shared; }
+    """, mode=RELAXED)
+    fa = result.functions[result.entry_specs["f"]]
+    loads = [i for i in fa.fn.instructions() if i.opcode == "load"]
+    shared_load = [l for l in loads
+                   if fa.inst_colors.get(l) == S]
+    assert shared_load
+    assert fa.reg_colors.get(shared_load[0], F) == F
+
+
+def test_rule1_load_from_u_stays_u_in_hardened_mode():
+    rejects("""
+        long unsafe_in = 1;
+        long color(blue) sink = 0;
+        entry void f() { sink = sink + unsafe_in; }
+    """, "op", HARDENED)
+
+
+# -- Rule 2: r = op(x1..xn) -------------------------------------------------------------
+
+
+def test_rule2_output_takes_input_color():
+    result = analyze("""
+        long color(red) a = 1;
+        long color(red) b = 0;
+        entry void f() { b = a * 3 + 1; }
+    """)
+    fa = result.functions[result.entry_specs["f"]]
+    assert fa.color_set == {"red"}
+
+
+def test_rule2_two_colors_rejected():
+    rejects("""
+        long color(red) r = 1;
+        long color(blue) b = 2;
+        long color(red) out = 0;
+        entry void f() { out = r + b; }
+    """, "op")
+
+
+# -- Rule 3: store r, p -------------------------------------------------------------------
+
+
+def test_rule3_store_into_same_color_ok():
+    assert not analyze("""
+        long color(red) a = 1;
+        long color(red) b = 0;
+        entry void f() { b = a; }
+    """).errors
+
+
+def test_rule3_store_colored_into_unsafe_rejected():
+    error = rejects("""
+        long color(red) secret = 1;
+        long out = 0;
+        entry void f() { out = secret; }
+    """, "store")
+    assert set(error.colors) == {"red", U}
+
+
+def test_rule3_store_unsafe_into_colored_rejected_hardened():
+    # Integrity + Iago: a U value cannot be stored into red memory.
+    rejects("""
+        long input = 1;
+        long color(red) state = 0;
+        entry void f() { state = input; }
+    """, "store", HARDENED)
+
+
+def test_rule3_free_value_into_colored_ok():
+    assert not analyze("""
+        long color(red) state = 0;
+        entry void f() { state = 42; }
+    """).errors
+
+
+# -- Rule 4: block coloring (see test_block_coloring.py for depth) ---------------------------
+
+
+def test_rule4_store_in_colored_block_rejected():
+    rejects("""
+        long color(blue) b = 0;
+        long x = 0;
+        entry void f() { if (b == 42) x = 1; }
+    """, "block-color")
+
+
+# -- pointer rules (fourth confidentiality rule of §4) ----------------------------------------
+
+
+def test_pointer_to_colored_memory_is_colored():
+    # Storing &uncolored into a pointer-to-blue location fails (at the
+    # implicit pointer conversion or at the store).
+    with pytest.raises(SecureTypeError) as excinfo:
+        analyze("""
+            long color(blue) a = 0;
+            long b = 0;
+            long color(blue)* p;
+            entry void f() { p = &b; }
+        """)
+    assert excinfo.value.rule in ("store", "cast")
+
+
+def test_pointer_cast_cannot_recolor():
+    rejects("""
+        long color(blue) a = 0;
+        entry void f() {
+            long color(red)* q = (long color(red)*) &a;
+            *q = 5;
+        }
+    """, "cast")
+
+
+def test_pointer_cast_to_opaque_keeps_color():
+    # &blue as i8* (memcpy-style) keeps the blue register color: the
+    # within call is placed in blue and typing succeeds.
+    assert not analyze("""
+        long color(blue) a = 0;
+        long color(blue) c = 0;
+        entry void f() {
+            memcpy(&c, &a, 1);
+        }
+    """).errors
+
+
+# -- calls ---------------------------------------------------------------------------------------
+
+
+def test_external_call_argument_must_be_untrusted():
+    rejects("""
+        extern void send(long v);
+        long color(red) secret = 1;
+        entry void f() { send(secret); }
+    """, "external-arg")
+
+
+def test_within_call_mixing_colors_rejected():
+    rejects("""
+        within void combine(long a, long b);
+        long color(red) r = 1;
+        long color(blue) b = 2;
+        entry void f() { combine(r, b); }
+    """, "within-arg")
+
+
+def test_within_call_pointer_to_other_enclave_rejected():
+    with pytest.raises(SecureTypeError) as excinfo:
+        analyze("""
+            long color(red) r = 1;
+            long color(blue) b = 2;
+            entry void f() { memcpy(&r, &b, 1); }
+        """)
+    # Caught either as mixed within arguments (the pointer registers
+    # carry their pointee colors) or by the §6.3 pointee check.
+    assert excinfo.value.rule in ("within-arg", "within-ptr")
+
+
+def test_specialization_keeps_colors_apart():
+    result = analyze("""
+        long color(red) r = 1;
+        long color(blue) b = 2;
+        long dup(long v) { return v + v; }
+        entry void f() {
+            r = dup(r);
+            b = dup(b);
+        }
+    """)
+    assert result.functions["dup$red"].return_color == "red"
+    assert result.functions["dup$blue"].return_color == "blue"
+
+
+def test_return_color_mismatch_rejected():
+    rejects("""
+        long color(red) r = 1;
+        long color(blue) b = 2;
+        long pick(long which) {
+            if (which) return r;
+            return b;
+        }
+        entry void f() { pick(1); }
+    """, "ret")
+
+
+# -- stabilizing algorithm (§5.2) -------------------------------------------------------------------
+
+
+def test_loop_carried_colors_stabilize():
+    result = analyze("""
+        long color(red) total = 0;
+        entry void f() {
+            for (int i = 0; i < 8; i++)
+                total = total + i;
+        }
+    """)
+    assert not result.errors
+    assert result.passes >= 2  # at least one re-analysis pass
+
+
+def test_recursive_function_stabilizes():
+    result = analyze("""
+        long color(red) acc = 0;
+        long down(long n) {
+            if (n <= 0) return 0;
+            acc = acc + n;
+            return down(n - 1);
+        }
+        entry void f() { down(5); }
+    """)
+    assert not result.errors

@@ -1,0 +1,142 @@
+"""Unit and property-based tests for the §9.3 data structures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastructures import (
+    AccessCounter,
+    ChainingHashMap,
+    LinkedListMap,
+    RedBlackTreeMap,
+)
+
+MAPS = [LinkedListMap, RedBlackTreeMap, ChainingHashMap]
+
+
+@pytest.mark.parametrize("map_cls", MAPS)
+def test_put_get_delete(map_cls):
+    m = map_cls()
+    assert m.get(1) is None
+    m.put(1, "a")
+    m.put(2, "b")
+    assert m.get(1) == "a"
+    assert m.get(2) == "b"
+    m.put(1, "c")                 # overwrite
+    assert m.get(1) == "c"
+    assert len(m) == 2
+    assert m.delete(1)
+    assert not m.delete(1)
+    assert m.get(1) is None
+    assert len(m) == 1
+
+
+@pytest.mark.parametrize("map_cls", MAPS)
+def test_items_enumerates_everything(map_cls):
+    m = map_cls()
+    expected = {}
+    for key in range(50):
+        m.put(key, key * 10)
+        expected[key] = key * 10
+    assert dict(m.items()) == expected
+
+
+@pytest.mark.parametrize("map_cls", MAPS)
+def test_contains(map_cls):
+    m = map_cls()
+    m.put(7, "x")
+    assert 7 in m
+    assert 8 not in m
+
+
+@pytest.mark.parametrize("map_cls", MAPS)
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["put", "get", "delete"]),
+              st.integers(0, 30)),
+    max_size=120))
+def test_behaves_like_dict(map_cls, ops):
+    """Property: any operation sequence matches a Python dict."""
+    m = map_cls()
+    model = {}
+    for kind, key in ops:
+        if kind == "put":
+            m.put(key, key * 3)
+            model[key] = key * 3
+        elif kind == "get":
+            assert m.get(key) == model.get(key)
+        else:
+            assert m.delete(key) == (model.pop(key, None) is not None)
+    assert len(m) == len(model)
+    assert dict(m.items()) == model
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
+def test_rbtree_invariants_hold(keys):
+    """Property: red-black invariants survive arbitrary inserts and
+    deletes (used as the balanced treemap of Figure 9)."""
+    tree = RedBlackTreeMap()
+    for key in keys:
+        tree.put(key, key)
+        assert tree.black_height_valid()
+    for key in keys[::2]:
+        tree.delete(key)
+        assert tree.black_height_valid()
+    remaining = sorted(set(keys) - set(keys[::2]))
+    assert [k for k, _ in tree.items()] == remaining
+
+
+def test_rbtree_items_sorted():
+    tree = RedBlackTreeMap()
+    for key in [5, 3, 9, 1, 7, 2, 8]:
+        tree.put(key, None)
+    assert [k for k, _ in tree.items()] == [1, 2, 3, 5, 7, 8, 9]
+
+
+def test_hashmap_grows_under_load():
+    m = ChainingHashMap(buckets=4, max_load=2.0)
+    for key in range(100):
+        m.put(key, key)
+    assert len(m) == 100
+    assert m.load_factor() <= 2.0
+    assert all(m.get(k) == k for k in range(100))
+
+
+def test_access_counting_linked_list_scales_linearly():
+    """The list visits ~n/2 nodes per lookup — the property that
+    amortizes enclave crossings in Figure 9 (§9.3.2)."""
+    counter = AccessCounter()
+    m = LinkedListMap(counter)
+    n = 400
+    for key in range(n):
+        m.put(key, key)
+    counter.reset()
+    for key in range(0, n, 10):
+        counter.begin_op()
+        m.get(key)
+    mean = counter.mean_accesses_per_op()
+    assert n * 0.3 < mean < n * 0.8
+
+
+def test_access_counting_tree_is_logarithmic():
+    counter = AccessCounter()
+    tree = RedBlackTreeMap(counter)
+    n = 1024
+    for key in range(n):
+        tree.put(key, key)
+    counter.reset()
+    for key in range(0, n, 16):
+        tree.get(key)
+    mean = counter.mean_accesses_per_op()
+    assert 5 < mean < 30  # ~1.39*log2(1024) = 13.9 plus slack
+
+
+def test_access_counting_hashmap_is_constant():
+    counter = AccessCounter()
+    m = ChainingHashMap(counter=counter)
+    for key in range(2000):
+        m.put(key, key)
+    counter.reset()
+    for key in range(0, 2000, 20):
+        m.get(key)
+    assert counter.mean_accesses_per_op() < 8

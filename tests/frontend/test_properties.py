@@ -1,0 +1,92 @@
+"""Property-based frontend tests: compiled MiniC arithmetic must agree
+with Python's evaluation of the same expression."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.ir.interp import Machine
+
+
+def run_expr(expr: str, a: int, b: int) -> int:
+    source = f"""
+        long f(long a, long b) {{
+            return {expr};
+        }}
+    """
+    return Machine(compile_source(source)).run_function("f", [a, b])
+
+
+SMALL = st.integers(-1000, 1000)
+NONZERO = st.integers(1, 1000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=SMALL, b=SMALL)
+def test_addition_chain(a, b):
+    assert run_expr("a + b * 2 - 3", a, b) == a + b * 2 - 3
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=SMALL, b=NONZERO)
+def test_c_division_truncates_toward_zero(a, b):
+    expected = int(a / b)  # C semantics: truncation
+    assert run_expr("a / b", a, b) == expected
+    assert run_expr("a % b", a, b) == a - expected * b
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=SMALL, b=SMALL)
+def test_comparisons(a, b):
+    assert run_expr("a < b", a, b) == int(a < b)
+    assert run_expr("a == b", a, b) == int(a == b)
+    assert run_expr("a >= b ? 1 : 0", a, b) == int(a >= b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.integers(0, 255), b=st.integers(0, 255))
+def test_bitwise(a, b):
+    assert run_expr("a & b", a, b) == a & b
+    assert run_expr("a | b", a, b) == a | b
+    assert run_expr("a ^ b", a, b) == a ^ b
+    assert run_expr("(a << 3) + (b >> 2)", a, b) == (a << 3) + (b >> 2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=SMALL, b=SMALL)
+def test_short_circuit_matches_python(a, b):
+    assert run_expr("a && b", a, b) == int(bool(a) and bool(b))
+    assert run_expr("a || b", a, b) == int(bool(a) or bool(b))
+    assert run_expr("!a", a, b) == int(not a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(0, 12))
+def test_loop_matches_closed_form(n):
+    source = """
+        long tri(long n) {
+            long total = 0;
+            for (long i = 1; i <= n; i++) total += i;
+            return total;
+        }
+    """
+    assert Machine(compile_source(source)).run_function(
+        "tri", [n]) == n * (n + 1) // 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=st.lists(st.integers(-100, 100), min_size=1,
+                       max_size=16))
+def test_array_sum_matches(values):
+    n = len(values)
+    writes = "\n".join(f"a[{i}] = {v};" for i, v in enumerate(values))
+    source = f"""
+        long f() {{
+            long a[{n}];
+            {writes}
+            long total = 0;
+            for (long i = 0; i < {n}; i++) total += a[i];
+            return total;
+        }}
+    """
+    assert Machine(compile_source(source)).run_function("f") == \
+        sum(values)

@@ -1,0 +1,274 @@
+"""End-to-end tests: compile, partition and execute on the runtime.
+
+These tests follow paper Figures 6 and 7: the partitioned program must
+compute the same results as the unpartitioned one, with chunks running
+on per-enclave workers connected by spawn/cont messages.
+"""
+
+import pytest
+
+from repro.core.colors import HARDENED, RELAXED
+from repro.core.compiler import compile_and_partition
+from repro.frontend import compile_source
+from repro.ir.interp import Machine, enclave_region
+from repro.runtime import run_partitioned
+
+
+def run_both(source: str, entry: str = "main", args=(),
+             mode: str = RELAXED):
+    """Run the program unpartitioned and partitioned; return both
+    results plus the runtime for inspection."""
+    plain = Machine(compile_source(source))
+    expected = plain.run_function(entry, list(args))
+    program = compile_and_partition(source, mode=mode)
+    result, runtime = run_partitioned(program, entry, list(args))
+    return expected, result, plain, runtime
+
+
+def test_single_color_computation():
+    source = """
+        int color(blue) counter = 0;
+        entry int main() {
+            counter = counter + 5;
+            counter = counter * 2;
+            return 7;
+        }
+    """
+    expected, result, plain, runtime = run_both(source, mode=RELAXED)
+    assert expected == result == 7
+    # The blue store really happened inside the blue enclave region.
+    gv_addr = _global_addr(runtime, "counter")
+    assert runtime.machine.memory.read(gv_addr) == 10
+    assert runtime.machine.memory.region_of(gv_addr) == \
+        enclave_region("blue")
+
+
+def test_single_color_hardened():
+    source = """
+        int color(blue) counter = 0;
+        entry int main() {
+            counter = counter + 5;
+            return 3;
+        }
+    """
+    program = compile_and_partition(source, mode=HARDENED)
+    result, runtime = run_partitioned(program, "main")
+    assert result == 3
+    assert runtime.machine.memory.read(
+        _global_addr(runtime, "counter")) == 5
+
+
+def test_paper_fig6_example():
+    """The running example of §7.3 (Figures 6 and 7)."""
+    source = """
+        int color(U) unsafe_g = 0;
+        int color(blue) blue_g = 10;
+        int color(red) red_g = 0;
+
+        void g(int n) {
+            blue_g = n;
+            red_g = n;
+            printf("Hello\\n");
+        }
+
+        int f(int y) {
+            g(21);
+            return 42;
+        }
+
+        entry int main() {
+            unsafe_g = 1;
+            int x = f(blue_g);
+            return x;
+        }
+    """
+    program = compile_and_partition(source, mode=RELAXED)
+    assert set(program.modules) == {"blue", "red", "S"}
+    result, runtime = run_partitioned(program, "main")
+    assert result == 42
+    machine = runtime.machine
+    assert machine.stdout == "Hello\n"
+    assert machine.memory.read(_global_addr(runtime, "unsafe_g")) == 1
+    assert machine.memory.read(_global_addr(runtime, "blue_g")) == 21
+    assert machine.memory.read(_global_addr(runtime, "red_g")) == 21
+    # Figure 7's protocol: spawns started the missing chunks, cont
+    # messages carried the F argument 21 and the return value 42.
+    assert runtime.stats.spawns >= 3
+    assert runtime.stats.values >= 2
+    assert runtime.stats.boundary_crossings > 0
+
+
+def test_colored_condition_branches():
+    """Control flow on a colored value exists only in that chunk;
+    other chunks jump to the join (Rule 4 payoff, §7.3.1)."""
+    source = """
+        int color(blue) secret = 7;
+        int color(blue) out = 0;
+        entry int main() {
+            if (secret > 5)
+                out = 1;
+            else
+                out = 2;
+            return 9;
+        }
+    """
+    expected, result, plain, runtime = run_both(source, mode=RELAXED)
+    assert expected == result == 9
+    assert runtime.machine.memory.read(
+        _global_addr(runtime, "out")) == 1
+
+
+def test_loop_with_colored_data():
+    source = """
+        long color(red) total = 0;
+        entry int main() {
+            for (int i = 1; i <= 10; i++)
+                total = total + i;
+            return 1;
+        }
+    """
+    expected, result, plain, runtime = run_both(source, mode=RELAXED)
+    assert expected == result == 1
+    assert runtime.machine.memory.read(
+        _global_addr(runtime, "total")) == 55
+
+
+def test_declassification_via_ignore():
+    """The §6.4 pattern: an ignore function declassifies an enclave
+    value so unsafe code can observe it."""
+    source = """
+        ignore long declass(long v);
+        long color(red) secret = 33;
+        long out = 0;
+        entry int main() {
+            out = declass(secret);
+            return 0;
+        }
+    """
+
+    def declass(machine, ctx, args):
+        return args[0]
+
+    program = compile_and_partition(source, mode=RELAXED)
+    result, runtime = _run_with_externals(program, {"declass": declass})
+    assert runtime.machine.memory.read(
+        _global_addr(runtime, "out")) == 33
+
+
+def test_specialized_callee_runs_in_right_enclave():
+    source = """
+        int color(blue) b = 4;
+        int color(red) r = 5;
+        int twice(int v) { return v + v; }
+        entry int main() {
+            b = twice(b);
+            r = twice(r);
+            return 2;
+        }
+    """
+    expected, result, plain, runtime = run_both(source, mode=RELAXED)
+    assert result == 2
+    machine = runtime.machine
+    assert machine.memory.read(_global_addr(runtime, "b")) == 8
+    assert machine.memory.read(_global_addr(runtime, "r")) == 10
+
+
+def test_f_value_messaging_relaxed():
+    """An F value produced in the untrusted chunk (a load from S) is
+    cont-messaged to the enclave chunk that consumes it."""
+    source = """
+        int shared_in = 5;
+        int color(blue) sink = 0;
+        entry int main() {
+            sink = shared_in + 1;
+            return 0;
+        }
+    """
+    program = compile_and_partition(source, mode=RELAXED)
+    result, runtime = run_partitioned(program, "main")
+    assert runtime.machine.memory.read(
+        _global_addr(runtime, "sink")) == 6
+    assert runtime.stats.values >= 1
+
+
+def test_multicolor_struct_two_enclaves():
+    """Figure 1: a struct with blue and red fields; §7.2 indirection
+    places the shell in unsafe memory and each field in its enclave."""
+    source = """
+        struct account {
+            long color(blue) owner;
+            double color(red) balance;
+        };
+        long color(blue) owner_out = 0;
+        entry int main() {
+            struct account* a = malloc(sizeof(struct account));
+            a->owner = 1234;
+            a->balance = 2.5;
+            owner_out = a->owner;
+            return 0;
+        }
+    """
+    program = compile_and_partition(source, mode=RELAXED)
+    result, runtime = run_partitioned(program, "main")
+    machine = runtime.machine
+    assert machine.memory.read(_global_addr(runtime, "owner_out")) == 1234
+    # The colored fields live in their enclaves.
+    regions = {a.region for a in machine.memory.live_allocations()}
+    assert enclave_region("blue") in regions
+    assert enclave_region("red") in regions
+
+
+def test_multicolor_struct_rejected_in_hardened_mode():
+    from repro.errors import PartitionError
+    source = """
+        struct account {
+            long color(blue) owner;
+            double color(red) balance;
+        };
+        entry int main() {
+            struct account* a = malloc(sizeof(struct account));
+            a->owner = 1;
+            return 0;
+        }
+    """
+    with pytest.raises(PartitionError):
+        compile_and_partition(source, mode=HARDENED)
+
+
+def test_tcb_is_smaller_than_whole_program():
+    """The point of partitioning (§9.2.2): the enclave's user code is a
+    fraction of the application."""
+    source = """
+        int color(blue) secret = 1;
+        int bulk(int x) {
+            int t = 0;
+            for (int i = 0; i < x; i++) t += i * i - i / 2;
+            return t;
+        }
+        entry int main() {
+            secret = secret + 1;
+            int a = bulk(10);
+            int b = bulk(20);
+            printf("%d %d\\n", a, b);
+            return 0;
+        }
+    """
+    program = compile_and_partition(source, mode=RELAXED)
+    blue = program.tcb_instructions("blue")
+    untrusted = program.tcb_instructions(program.untrusted)
+    assert blue < untrusted
+
+
+def _global_addr(runtime, name: str) -> int:
+    for module in runtime.machine.modules:
+        gv = module.globals.get(name)
+        if gv is not None:
+            return runtime.machine.global_address(gv)
+    raise AssertionError(f"global {name} not found")
+
+
+def _run_with_externals(program, externals, entry="main", args=()):
+    from repro.runtime import PrivagicRuntime
+    runtime = PrivagicRuntime(program, externals)
+    result = runtime.run(entry, list(args))
+    return result, runtime

@@ -1,0 +1,235 @@
+"""Unit tests for the CFG analyses, the verifier and the passes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IRError
+from repro.frontend import compile_source
+from repro.ir import (
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    I32,
+    verify_function,
+    verify_module,
+)
+from repro.ir.cfg import (
+    DominatorTree,
+    blocks_influenced_by,
+    reverse_postorder,
+)
+from repro.ir.interp import Machine
+from repro.ir.passes import dead_code_elimination, mem2reg
+
+
+def diamond_function():
+    """entry -> (left|right) -> join -> exit."""
+    module = Module("m")
+    fn = module.add_function(Function("f", FunctionType(I32, [I32]),
+                                      ["x"]))
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    join = fn.add_block("join")
+    b = IRBuilder(entry)
+    cond = b.cmp("slt", fn.args[0], b.const_int(0))
+    b.branch(cond, left, right)
+    b.position_at_end(left)
+    lval = b.const_int(1)
+    b.jump(join)
+    b.position_at_end(right)
+    b.jump(join)
+    b.position_at_end(join)
+    phi = b.phi(I32)
+    phi.add_incoming(b.const_int(1), left)
+    phi.add_incoming(b.const_int(2), right)
+    b.ret(phi)
+    return module, fn, (entry, left, right, join)
+
+
+def test_reverse_postorder_starts_at_entry():
+    _, fn, (entry, left, right, join) = diamond_function()
+    order = reverse_postorder(fn)
+    assert order[0] is entry
+    assert order[-1] is join
+    assert set(order) == {entry, left, right, join}
+
+
+def test_dominators_of_diamond():
+    _, fn, (entry, left, right, join) = diamond_function()
+    dt = DominatorTree(fn)
+    assert dt.immediate(left) is entry
+    assert dt.immediate(right) is entry
+    assert dt.immediate(join) is entry
+    assert dt.dominates(entry, join)
+    assert not dt.dominates(left, join)
+
+
+def test_postdominators_of_diamond():
+    _, fn, (entry, left, right, join) = diamond_function()
+    pdt = DominatorTree(fn, post=True)
+    assert pdt.immediate(left) is join
+    assert pdt.immediate(right) is join
+    assert pdt.immediate(entry) is join
+    assert pdt.dominates(join, entry)
+
+
+def test_influenced_blocks_exclude_join():
+    _, fn, (entry, left, right, join) = diamond_function()
+    pdt = DominatorTree(fn, post=True)
+    influenced = blocks_influenced_by(entry, pdt)
+    assert influenced == {left, right}
+
+
+def test_postdominators_with_multiple_exits_terminate():
+    module = compile_source("""
+        long f(long n) {
+            if (n < 0) return 0 - 1;
+            return n * 2;
+        }
+    """)
+    fn = module.get_function("f")
+    pdt = DominatorTree(fn, post=True)   # must not hang (virtual root)
+    # both return blocks postdominate only themselves
+    exits = [b for b in fn.blocks if b.is_terminated
+             and not b.successors]
+    for e in exits:
+        assert pdt.immediate(e) is None
+
+
+def test_dominance_frontier_of_diamond():
+    _, fn, (entry, left, right, join) = diamond_function()
+    dt = DominatorTree(fn)
+    frontier = dt.frontier()
+    assert frontier[left] == {join}
+    assert frontier[right] == {join}
+    assert frontier.get(entry, set()) == set()
+
+
+# -- verifier ---------------------------------------------------------------------
+
+
+def test_verifier_catches_missing_terminator():
+    module = Module("m")
+    fn = module.add_function(Function("f", FunctionType(I32, [])))
+    fn.add_block("entry")  # empty block, no terminator
+    with pytest.raises(IRError):
+        verify_function(fn)
+
+
+def test_verifier_catches_use_before_def():
+    module = Module("m")
+    fn = module.add_function(Function("f", FunctionType(I32, [I32]),
+                                      ["x"]))
+    b = IRBuilder(fn.add_block("entry"))
+    first = b.add(fn.args[0], b.const_int(1))
+    second = b.add(first, b.const_int(2))
+    b.ret(second)
+    # Swap the two instructions: `second` now uses `first` before it
+    # is defined.
+    block = fn.entry_block
+    block.instructions[0], block.instructions[1] = \
+        block.instructions[1], block.instructions[0]
+    with pytest.raises(IRError):
+        verify_function(fn)
+
+
+def test_verifier_accepts_compiled_programs():
+    module = compile_source("""
+        struct s { int a; int b; };
+        int main() {
+            struct s v;
+            v.a = 1;
+            v.b = 2;
+            int total = 0;
+            for (int i = 0; i < v.b; i++) total += v.a;
+            return total;
+        }
+    """)
+    verify_module(module)
+
+
+# -- passes -------------------------------------------------------------------------
+
+
+def test_mem2reg_keeps_address_taken_allocas():
+    module = compile_source("""
+        long deref(long* p) { return *p; }
+        long f() {
+            long x = 5;
+            return deref(&x);
+        }
+    """)
+    promoted = mem2reg(module)
+    fn = module.get_function("f")
+    allocas = [i for i in fn.instructions() if i.opcode == "alloca"]
+    assert len(allocas) == 1  # &x prevents promotion
+    assert Machine(module).run_function("f") == 5
+
+
+def test_mem2reg_keeps_colored_allocas():
+    module = compile_source("""
+        long f() {
+            long color(blue) x = 5;
+            return 1;
+        }
+    """)
+    mem2reg(module)
+    fn = module.get_function("f")
+    allocas = [i for i in fn.instructions() if i.opcode == "alloca"]
+    assert len(allocas) == 1  # explicit color pins it to memory
+
+
+def test_mem2reg_inserts_phis_for_loops():
+    module = compile_source("""
+        int f(int n) {
+            int total = 0;
+            for (int i = 0; i < n; i++) total += i;
+            return total;
+        }
+    """)
+    mem2reg(module)
+    fn = module.get_function("f")
+    phis = [i for i in fn.instructions() if i.opcode == "phi"]
+    assert phis
+    verify_module(module)
+    assert Machine(module).run_function("f", [10]) == 45
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(0, 40))
+def test_mem2reg_preserves_semantics(n):
+    """Property: promotion never changes observable results."""
+    source = """
+        int f(int n) {
+            int a = 0;
+            int b = 1;
+            while (n > 0) {
+                int t = a + b;
+                a = b;
+                b = t;
+                n = n - 1;
+            }
+            return a;
+        }
+    """
+    plain = Machine(compile_source(source)).run_function("f", [n])
+    module = compile_source(source)
+    mem2reg(module)
+    promoted = Machine(module).run_function("f", [n])
+    assert plain == promoted
+
+
+def test_dce_keeps_side_effects():
+    module = compile_source("""
+        int main() {
+            printf("kept\\n");
+            int dead = 1 + 2;
+            return 0;
+        }
+    """)
+    dead_code_elimination(module)
+    machine = Machine(module)
+    machine.run_function("main")
+    assert machine.stdout == "kept\n"

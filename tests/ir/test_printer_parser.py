@@ -1,0 +1,98 @@
+"""Round-trip tests: print -> parse -> print is a fixed point, and
+parsed modules execute identically."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import print_module, verify_module
+from repro.ir.interp import Machine
+from repro.ir.parser import parse_module
+
+SOURCES = {
+    "arith": """
+        int compute(int a, int b) {
+            int total = 0;
+            for (int i = 0; i < a; i++) total += i * b;
+            return total;
+        }
+        entry int main() { return compute(5, 3); }
+    """,
+    "structs": """
+        struct point { int x; int y; };
+        entry int main() {
+            struct point* p = malloc(sizeof(struct point));
+            p->x = 11;
+            p->y = 31;
+            return p->x + p->y;
+        }
+    """,
+    "colored": """
+        struct account {
+            long color(blue) owner;
+            long balance;
+        };
+        long color(blue) total = 0;
+        entry int main() { return 0; }
+    """,
+    "strings": """
+        entry int main() {
+            printf("value=%d\\n", 42);
+            return strlen("hello");
+        }
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_print_parse_print_fixed_point(name):
+    module = compile_source(SOURCES[name])
+    text1 = print_module(module)
+    parsed = parse_module(text1, name=module.name)
+    text2 = print_module(parsed)
+    assert text1 == text2
+
+
+@pytest.mark.parametrize("name", ["arith", "structs", "strings"])
+def test_parsed_module_executes_identically(name):
+    module = compile_source(SOURCES[name])
+    expected = Machine(module).run_function("main")
+    parsed = parse_module(print_module(module))
+    verify_module(parsed)
+    assert Machine(parsed).run_function("main") == expected
+
+
+def test_colored_types_survive_round_trip():
+    module = compile_source(SOURCES["colored"])
+    parsed = parse_module(print_module(module))
+    account = parsed.structs["account"]
+    assert account.fields[0].type.color == "blue"
+    assert account.fields[1].type.color is None
+    assert parsed.globals["total"].color == "blue"
+
+
+def test_function_attributes_survive_round_trip():
+    module = compile_source("""
+        within long helper(long v);
+        ignore long declass(long v);
+        entry int main() { return 0; }
+    """)
+    parsed = parse_module(print_module(module))
+    assert parsed.get_function("helper").is_within
+    assert parsed.get_function("declass").is_ignore
+    assert parsed.get_function("main").is_entry
+
+
+def test_phi_round_trip():
+    module = compile_source("""
+        entry int main() {
+            int x = 0;
+            for (int i = 0; i < 10; i++)
+                x = x + (i > 5 ? 2 : 1);
+            return x;
+        }
+    """)
+    from repro.ir.passes import mem2reg
+    mem2reg(module)
+    expected = Machine(module).run_function("main")
+    parsed = parse_module(print_module(module))
+    assert Machine(parsed).run_function("main") == expected

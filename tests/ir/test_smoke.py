@@ -1,0 +1,69 @@
+"""Smoke tests: build a function with the IRBuilder, verify it, run it."""
+
+from repro.ir import (
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    I32,
+    verify_module,
+)
+from repro.ir.interp import Machine
+from repro.ir.passes import dead_code_elimination, mem2reg
+
+
+def build_abs_module():
+    module = Module("abs")
+    fn = module.add_function(
+        Function("iabs", FunctionType(I32, [I32]), ["x"]))
+    entry = fn.add_block("entry")
+    neg = fn.add_block("neg")
+    done = fn.add_block("done")
+    b = IRBuilder(entry)
+    is_neg = b.cmp("slt", fn.args[0], b.const_int(0))
+    b.branch(is_neg, neg, done)
+    b.position_at_end(neg)
+    negated = b.sub(b.const_int(0), fn.args[0])
+    b.jump(done)
+    b.position_at_end(done)
+    phi = b.phi(I32)
+    phi.add_incoming(fn.args[0], entry)
+    phi.add_incoming(negated, neg)
+    b.ret(phi)
+    return module
+
+
+def test_build_verify_run():
+    module = build_abs_module()
+    verify_module(module)
+    machine = Machine(module)
+    assert machine.run_function("iabs", [-5]) == 5
+    assert Machine(module).run_function("iabs", [7]) == 7
+
+
+def test_mem2reg_promotes_local():
+    module = Module("m")
+    fn = module.add_function(
+        Function("double_it", FunctionType(I32, [I32]), ["x"]))
+    b = IRBuilder(fn.add_block("entry"))
+    slot = b.alloca(I32, "local")
+    b.store(fn.args[0], slot)
+    loaded = b.load(slot)
+    result = b.add(loaded, loaded)
+    b.ret(result)
+    assert mem2reg(module) == 1
+    verify_module(module)
+    assert not any(i.opcode in ("alloca", "load", "store")
+                   for i in fn.instructions())
+    assert Machine(module).run_function("double_it", [21]) == 42
+
+
+def test_dce_removes_unused():
+    module = Module("m")
+    fn = module.add_function(
+        Function("f", FunctionType(I32, [I32]), ["x"]))
+    b = IRBuilder(fn.add_block("entry"))
+    b.add(fn.args[0], b.const_int(1))  # dead
+    b.ret(fn.args[0])
+    assert dead_code_elimination(module) == 1
+    verify_module(module)

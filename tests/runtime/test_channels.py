@@ -1,0 +1,110 @@
+"""Unit tests for the runtime channels and worker bookkeeping."""
+
+import pytest
+
+from repro.runtime.channel import Channel, ChannelMatrix, Message, SpawnMessage
+
+
+def test_channel_fifo_order():
+    ch = Channel("blue", "S")
+    ch.push(Message("value", 1))
+    ch.push(Message("value", 2))
+    assert ch.pop_kind(["value"]).value == 1
+    assert ch.pop_kind(["value"]).value == 2
+    assert ch.pop_kind(["value"]) is None
+
+
+def test_channel_selective_receive():
+    """A wait for a value skips queued spawns and vice versa —
+    trampoline-on-wait needs this (§7.3.2)."""
+    ch = Channel("blue", "S")
+    ch.push(SpawnMessage("g$F@S", [21], None))
+    ch.push(Message("token"))
+    ch.push(Message("value", 42))
+    assert ch.pop_kind(["value"]).value == 42
+    spawn = ch.pop_kind(["spawn"])
+    assert spawn.chunk == "g$F@S" and spawn.args == [21]
+    assert ch.pop_kind(["token"]).kind == "token"
+    assert len(ch) == 0
+
+
+def test_channel_counters():
+    ch = Channel("a", "b")
+    for i in range(5):
+        ch.push(Message("value", i))
+    ch.pop_kind(["value"])
+    assert ch.sent == 5
+    assert ch.received == 1
+    assert len(ch) == 4
+
+
+def test_matrix_per_pair_channels():
+    matrix = ChannelMatrix()
+    ab = matrix.channel("a", "b")
+    ba = matrix.channel("b", "a")
+    assert ab is not ba
+    assert matrix.channel("a", "b") is ab
+    ab.push(Message("value", 1))
+    assert matrix.pending() == 1
+    assert matrix.incoming("b") == [ab]
+    assert matrix.total_messages() == 1
+
+
+def test_spawn_message_payload():
+    msg = SpawnMessage("f$blue@red", [1, 2], reply_to="S")
+    assert msg.kind == "spawn"
+    assert msg.reply_to == "S"
+    assert "f$blue@red" in repr(msg)
+
+
+def test_runtime_stats_counting():
+    from repro.core.colors import RELAXED
+    from repro.core.compiler import compile_and_partition
+    from repro.runtime import PrivagicRuntime
+
+    program = compile_and_partition("""
+        long color(blue) total = 0;
+        entry int main() {
+            total = total + 1;
+            return 0;
+        }
+    """, mode=RELAXED)
+    runtime = PrivagicRuntime(program)
+    runtime.run("main")
+    stats = runtime.stats
+    assert stats.spawns >= 1             # main's blue chunk
+    assert stats.trampoline_runs >= 1
+    assert stats.boundary_crossings >= stats.spawns
+    assert stats.as_dict()["messages"] == stats.messages
+
+
+def test_deadlock_reported_not_hung():
+    """A chunk waiting for a message nobody sends must fail loudly."""
+    from repro.errors import RuntimeFault
+    from repro.core.partition import PartitionedProgram
+    from repro.core.analysis import AnalysisResult
+    from repro.frontend import compile_source
+    from repro.ir import Function, FunctionType, IRBuilder, Module, I64
+    from repro.ir.types import PointerType, I8
+    from repro.runtime import PrivagicRuntime
+
+    # Hand-build a program whose single function waits on a channel
+    # that never receives anything.
+    module = Module("stuck")
+    recv = module.add_function(Function(
+        "__privagic_recv", FunctionType(I64, [PointerType(I8)]),
+        attributes=["extern"]))
+    fn = module.add_function(Function("main", FunctionType(I64, [])))
+    b = IRBuilder(fn.add_block("entry"))
+    from repro.ir.values import Constant
+    from repro.ir.types import ArrayType
+    value = b.call(recv, [Constant(ArrayType(I8, 5), "blue")])
+    b.ret(value)
+
+    analysis = AnalysisResult(module, "relaxed")
+    program = PartitionedProgram(analysis)
+    program.modules["S"] = module
+    runtime = PrivagicRuntime(program)
+    with pytest.raises(RuntimeFault) as excinfo:
+        runtime.run("main")
+    assert "deadlock" in str(excinfo.value)

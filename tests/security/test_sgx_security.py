@@ -1,0 +1,193 @@
+"""Security tests under the simulated SGX machine (paper §4).
+
+The attacker fully controls unsafe memory and observes everything
+written there; the enclaves are opaque.  These tests drive partitioned
+programs under the access policy and check the three guarantees:
+confidentiality, integrity/authenticity, and Iago protection.
+"""
+
+import pytest
+
+from repro.core.colors import HARDENED, RELAXED
+from repro.core.compiler import compile_and_partition
+from repro.errors import SGXAccessViolation
+from repro.ir.interp import UNSAFE_REGION
+from repro.runtime import PrivagicRuntime
+from repro.sgx import Attacker, SGXAccessPolicy
+
+
+SECRET = 7340033  # a recognizable sensitive value
+
+
+def run_partitioned_with_policy(source, mode, entry="main", args=()):
+    program = compile_and_partition(source, mode=mode)
+    runtime = PrivagicRuntime(program)
+    policy = SGXAccessPolicy().attach(runtime.machine)
+    result = runtime.run(entry, list(args))
+    return result, runtime, policy
+
+
+CONFIDENTIAL_SOURCE = f"""
+    long color(blue) secret = {SECRET};
+    long color(blue) derived = 0;
+    entry int main() {{
+        derived = secret * 2 + 1;
+        return 0;
+    }}
+"""
+
+
+def test_sgx_policy_allows_clean_partitioned_run():
+    result, runtime, policy = run_partitioned_with_policy(
+        CONFIDENTIAL_SOURCE, RELAXED)
+    assert result == 0
+    assert policy.checked_accesses > 0
+    assert not policy.denied
+
+
+def test_secret_never_written_to_unsafe_memory():
+    """The attacker observes every write that ever lands in unsafe
+    memory during the run; none may carry the secret or any value
+    derived from it."""
+    program = compile_and_partition(CONFIDENTIAL_SOURCE, mode=RELAXED)
+    runtime = PrivagicRuntime(program)
+    SGXAccessPolicy().attach(runtime.machine)
+    unsafe_addrs = set()
+
+    def watch(ctx, addr, region, rw):
+        if rw == "write" and region == UNSAFE_REGION:
+            unsafe_addrs.add(addr)
+
+    runtime.machine.access_hooks.append(watch)
+    runtime.run("main")
+    attacker = Attacker(runtime.machine)
+    assert attacker.scan_for(SECRET) == []
+    assert attacker.scan_for(SECRET * 2 + 1) == []
+    leaked = {runtime.machine.memory.read(a) for a in unsafe_addrs
+              if a in set(attacker.readable_addresses())}
+    assert SECRET not in leaked and SECRET * 2 + 1 not in leaked
+
+
+def test_attacker_cannot_read_enclave():
+    result, runtime, policy = run_partitioned_with_policy(
+        CONFIDENTIAL_SOURCE, RELAXED)
+    attacker = Attacker(runtime.machine)
+    with pytest.raises(SGXAccessViolation):
+        attacker.try_read_enclave("blue")
+
+
+def test_attacker_cannot_corrupt_enclave_global():
+    result, runtime, policy = run_partitioned_with_policy(
+        CONFIDENTIAL_SOURCE, RELAXED)
+    attacker = Attacker(runtime.machine)
+    with pytest.raises(SGXAccessViolation):
+        attacker.corrupt_global("secret", 0)
+
+
+def test_normal_mode_cannot_touch_enclave_memory():
+    """A malicious untrusted chunk (here: hand-driven normal-mode
+    context) cannot load enclave memory (paper §2.1)."""
+    from repro.frontend import compile_source
+    from repro.ir.interp import Machine
+
+    module = compile_source(f"""
+        long color(blue) secret = {SECRET};
+        entry long steal() {{ return secret; }}
+    """)
+    machine = Machine(module)
+    SGXAccessPolicy().attach(machine)
+    ctx = machine.spawn("steal", [], mode=None)  # normal mode
+    with pytest.raises(SGXAccessViolation):
+        machine.run()
+
+
+def test_enclave_mode_cannot_touch_other_enclave():
+    from repro.frontend import compile_source
+    from repro.ir.interp import Machine
+
+    module = compile_source(f"""
+        long color(blue) secret = {SECRET};
+        entry long steal() {{ return secret; }}
+    """)
+    machine = Machine(module)
+    SGXAccessPolicy().attach(machine)
+    machine.spawn("steal", [], mode="red")  # wrong enclave
+    with pytest.raises(SGXAccessViolation):
+        machine.run()
+
+
+IAGO_SOURCE = """
+    int knob = 4;               /* unsafe memory, attacker-writable */
+    int color(blue) state = 10;
+    entry int main() {
+        state = state + knob;
+        return 0;
+    }
+"""
+
+
+def test_iago_attack_rejected_in_hardened_mode():
+    """In hardened mode, a value loaded from unsafe memory is U and an
+    enclave instruction cannot consume it (§5.3): the program does not
+    even compile."""
+    from repro.errors import SecureTypeError
+    with pytest.raises(SecureTypeError):
+        compile_and_partition(IAGO_SOURCE, mode=HARDENED)
+
+
+def test_iago_attack_possible_in_relaxed_mode():
+    """In relaxed mode the same program compiles, and a poisoned
+    unsafe value does flow into the enclave — the documented gap
+    (§6.1.2)."""
+    program = compile_and_partition(IAGO_SOURCE, mode=RELAXED)
+    runtime = PrivagicRuntime(program)
+    SGXAccessPolicy().attach(runtime.machine)
+    attacker = Attacker(runtime.machine)
+    attacker.corrupt_global("knob", 1000000)
+    runtime.run("main")
+    # The enclave consumed the poisoned value.
+    blue_state = _read_global(runtime, "state")
+    assert blue_state == 10 + 1000000
+
+
+def test_declassified_value_is_the_only_leak():
+    """Declassification through ignore (§6.4) is the only way a blue
+    value reaches unsafe memory, and only the declassified value."""
+    source = f"""
+        ignore long declass(long v);
+        long color(blue) secret = {SECRET};
+        long out = 0;
+        entry int main() {{
+            long masked = declass(secret / 1000);
+            out = masked;
+            return 0;
+        }}
+    """
+    program = compile_and_partition(source, mode=RELAXED)
+    runtime = PrivagicRuntime(
+        program, {"declass": lambda m, c, a: a[0]})
+    SGXAccessPolicy().attach(runtime.machine)
+    runtime.run("main")
+    attacker = Attacker(runtime.machine)
+    assert attacker.scan_for(SECRET) == []          # secret protected
+    assert attacker.scan_for(SECRET // 1000) != []  # declassified out
+
+
+def test_attestation_measurement():
+    from repro.sgx import EnclaveManager
+    program = compile_and_partition(CONFIDENTIAL_SOURCE, mode=RELAXED)
+    runtime = PrivagicRuntime(program)
+    manager = EnclaveManager(runtime.machine, epc_bytes=93 * 1024 * 1024)
+    enclave = manager.create("blue", program.modules["blue"])
+    assert manager.attest("blue", enclave.measurement)
+    assert not manager.attest("blue", "0" * 64)
+    assert enclave.code_lines() > 0
+
+
+def _read_global(runtime, name):
+    for module in runtime.machine.modules:
+        gv = module.globals.get(name)
+        if gv is not None:
+            return runtime.machine.memory.read(
+                runtime.machine.global_address(gv))
+    raise AssertionError(name)

@@ -1,0 +1,79 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = """
+    long color(blue) total = 0;
+    entry long main(long n) {
+        total = total + n;
+        return 0;
+    }
+"""
+
+BROKEN = """
+    long color(blue) secret = 1;
+    long out = 0;
+    entry void main() { out = secret; }
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.c"
+    path.write_text(BROKEN)
+    return str(path)
+
+
+def test_analyze_ok(clean_file, capsys):
+    assert main(["analyze", clean_file, "--mode", "relaxed"]) == 0
+    out = capsys.readouterr().out
+    assert "analysis OK" in out
+    assert "blue" in out
+
+
+def test_analyze_reports_errors(broken_file, capsys):
+    assert main(["analyze", broken_file]) == 1
+    err = capsys.readouterr().err
+    assert "[store]" in err or "incompatible colors" in err
+
+
+def test_compile_to_directory(clean_file, tmp_path, capsys):
+    out_dir = tmp_path / "parts"
+    assert main(["compile", clean_file, "--mode", "relaxed",
+                 "-o", str(out_dir)]) == 0
+    files = sorted(p.name for p in out_dir.iterdir())
+    assert "blue.ir" in files and "S.ir" in files
+    blue_text = (out_dir / "blue.ir").read_text()
+    assert "@main$" in blue_text
+
+
+def test_compile_to_stdout(clean_file, capsys):
+    assert main(["compile", clean_file, "--mode", "relaxed"]) == 0
+    out = capsys.readouterr().out
+    assert "define" in out
+
+
+def test_run_executes_entry(clean_file, capsys):
+    assert main(["run", "--mode", "relaxed", "--entry",
+                 "main", clean_file, "7"]) == 0
+    out = capsys.readouterr().out
+    assert "main(7) = 0" in out
+    assert "messages:" in out
+
+
+def test_compile_error_is_reported(broken_file, capsys):
+    assert main(["compile", broken_file]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_file(capsys):
+    assert main(["analyze", "/no/such/file.c"]) == 2

@@ -1,0 +1,87 @@
+"""Tests for the YCSB workload generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads import (
+    LatestGenerator,
+    UniformGenerator,
+    Workload,
+    ZipfianGenerator,
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+)
+from repro.workloads.ycsb import dataset_sweep, workload_by_name
+
+
+def test_uniform_covers_range():
+    gen = UniformGenerator(100, seed=1)
+    seen = {gen.next() for _ in range(5000)}
+    assert min(seen) >= 0 and max(seen) < 100
+    assert len(seen) > 90
+
+
+def test_zipfian_is_skewed():
+    gen = ZipfianGenerator(10_000, seed=2)
+    counts = Counter(gen.next() for _ in range(20_000))
+    top = sum(count for rank, count in counts.items() if rank < 100)
+    # With theta=0.99 the top 1% of ranks draw a large share.
+    assert top / 20_000 > 0.35
+    assert all(0 <= rank < 10_000 for rank in counts)
+
+
+def test_zipfian_popularity_is_monotonic():
+    gen = ZipfianGenerator(1000)
+    pops = [gen.popularity(r) for r in range(10)]
+    assert pops == sorted(pops, reverse=True)
+
+
+def test_latest_prefers_recent_keys():
+    gen = LatestGenerator(1000, seed=3)
+    samples = [gen.next() for _ in range(5000)]
+    assert sum(1 for s in samples if s > 900) / len(samples) > 0.5
+
+
+def test_workload_mix_ratios():
+    wl = Workload(WORKLOAD_A, record_count=1000, operation_count=20_000,
+                  seed=7)
+    kinds = Counter(op.kind for op in wl.operations())
+    assert abs(kinds["read"] / 20_000 - 0.5) < 0.05
+    assert abs(kinds["update"] / 20_000 - 0.5) < 0.05
+
+
+def test_workload_c_is_read_only():
+    wl = Workload(WORKLOAD_C, 100, 1000)
+    assert all(op.kind == "read" for op in wl.operations())
+
+
+def test_workload_d_inserts_extend_keyspace():
+    wl = Workload(WORKLOAD_D, 100, 2000, seed=5)
+    inserted = [op for op in wl.operations() if op.kind == "insert"]
+    assert inserted
+    assert max(op.key for op in inserted) >= 100
+
+
+def test_workload_is_reproducible():
+    a = list(Workload(WORKLOAD_B, 500, 300, seed=11).operations())
+    b = list(Workload(WORKLOAD_B, 500, 300, seed=11).operations())
+    assert a == b
+    c = list(Workload(WORKLOAD_B, 500, 300, seed=12).operations())
+    assert a != c
+
+
+def test_dataset_properties():
+    wl = Workload(WORKLOAD_A, record_count=1024, operation_count=1)
+    assert wl.dataset_bytes == 1024 * (1024 + 8)
+    sweep = dataset_sweep(1024 * 1024, 8 * 1024 * 1024)
+    assert len(sweep) == 4  # 1, 2, 4, 8 MiB
+    assert sweep[0] == 1024
+
+
+def test_workload_by_name():
+    assert workload_by_name("a") is WORKLOAD_A
+    with pytest.raises(KeyError):
+        workload_by_name("Z")
