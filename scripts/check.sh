@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repo check: tier-1 test suite + interpreter-dispatch smoke run.
+#
+# Usage: scripts/check.sh [extra pytest args]
+#   REPRO_ENGINE=legacy scripts/check.sh   # check the legacy engine
+#
+# The dispatch benchmark runs in smoke mode (tiny workloads, no 5x
+# assertion, writes BENCH_interp.smoke.json) so the whole script
+# stays CI-fast; run `python benchmarks/bench_interp_dispatch.py`
+# for real numbers.
+set -e
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+python -m pytest -x -q -m "not slow" "$@"
+REPRO_BENCH_SMOKE=1 python benchmarks/bench_interp_dispatch.py
+rm -f BENCH_interp.smoke.json

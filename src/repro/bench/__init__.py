@@ -8,5 +8,7 @@ paper-vs-measured values for EXPERIMENTS.md.
 """
 
 from repro.bench.harness import Report, band_check, format_table
+from repro.bench.timing import Timing, measure, speedup
 
-__all__ = ["Report", "band_check", "format_table"]
+__all__ = ["Report", "band_check", "format_table",
+           "Timing", "measure", "speedup"]

@@ -1,0 +1,73 @@
+"""Steps/sec timing for interpreter benchmarks.
+
+The dispatch benchmarks compare execution engines, so the quantity of
+interest is *interpreted steps per second* — wall-clock alone would
+conflate engine speed with workload size.  :func:`measure` runs a
+thunk that returns a step count, takes the best of ``repeat`` runs
+(interpreter benchmarks are minimum-latency measurements: anything
+above the minimum is scheduler/GC noise, not engine cost) and returns
+a :class:`Timing` with both raw and derived numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+
+class Timing:
+    """One measurement: steps, best wall-clock seconds, steps/sec."""
+
+    __slots__ = ("steps", "seconds", "runs")
+
+    def __init__(self, steps: int, seconds: float, runs: int):
+        self.steps = steps
+        self.seconds = seconds
+        self.runs = runs
+
+    @property
+    def steps_per_sec(self) -> float:
+        return self.steps / self.seconds if self.seconds else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "steps": self.steps,
+            "seconds": self.seconds,
+            "steps_per_sec": round(self.steps_per_sec, 1),
+            "runs": self.runs,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Timing {self.steps} steps in {self.seconds:.4f}s "
+                f"= {self.steps_per_sec:,.0f}/s>")
+
+
+def measure(thunk: Callable[[], int], repeat: int = 3) -> Timing:
+    """Best-of-``repeat`` timing of ``thunk``, which must return the
+    number of interpreter steps it executed.
+
+    Every run must report the same step count — a differing count
+    means the workload is not deterministic and the comparison would
+    be meaningless, so it raises instead of averaging it away.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    best: Tuple[int, float] = None  # type: ignore[assignment]
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        steps = thunk()
+        elapsed = time.perf_counter() - t0
+        if best is not None and steps != best[0]:
+            raise RuntimeError(
+                f"non-deterministic workload: {steps} steps vs "
+                f"{best[0]} on an earlier run")
+        if best is None or elapsed < best[1]:
+            best = (steps, elapsed)
+    return Timing(best[0], best[1], repeat)
+
+
+def speedup(base: Timing, fast: Timing) -> float:
+    """How many times more steps/sec ``fast`` does than ``base``."""
+    if not base.steps_per_sec:
+        return 0.0
+    return fast.steps_per_sec / base.steps_per_sec

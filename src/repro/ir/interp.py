@@ -26,6 +26,7 @@ memory.  Three properties matter for the reproduction:
 from __future__ import annotations
 
 import bisect
+import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import IRError, RuntimeFault
@@ -84,6 +85,9 @@ class PushCall:
 
 #: Region name of ordinary (non-enclave) memory.
 UNSAFE_REGION = "unsafe"
+
+#: Sentinel distinguishing "slot not mapped" from a stored None.
+_UNMAPPED_SLOT = object()
 
 
 def enclave_region(color: str) -> str:
@@ -180,7 +184,7 @@ class Frame:
     """One activation record."""
 
     __slots__ = ("function", "block", "index", "values", "prev_block",
-                 "call_site", "replay", "on_return")
+                 "call_site", "replay", "on_return", "ops")
 
     def __init__(self, function: Function,
                  call_site: Optional[Instruction] = None,
@@ -191,6 +195,9 @@ class Frame:
         self.values: Dict[Value, object] = {}
         self.prev_block: Optional[BasicBlock] = None
         self.call_site = call_site
+        #: Pre-decoded closure list of the current block (parallel to
+        #: ``block.instructions``); ``None`` under the legacy engine.
+        self.ops: Optional[list] = None
         #: When true, returning does not advance the caller — the
         #: caller re-executes its current (external-call) instruction.
         self.replay = replay
@@ -296,6 +303,29 @@ class ExecutionContext:
         if advanced:
             self.steps += 1
             self.machine.total_steps += 1
+
+    def run_burst(self, limit: int, contexts) -> Tuple[int, bool]:
+        """Step up to ``limit`` times; stop when blocked, finished,
+        idle, or the machine's context list changes (a spawn).
+
+        This is the schedulers' fast path for a *lone* runnable
+        context: the resulting step sequence is exactly what
+        round-robin over that single context would produce, minus the
+        per-round bookkeeping.  Returns ``(attempts, advanced_any)``.
+        """
+        n_ctx = len(contexts)
+        attempts = 0
+        advanced_any = False
+        while attempts < limit and not self.finished and self.stack:
+            before = self.steps
+            attempts += 1
+            self.step()
+            if self.steps == before:
+                break
+            advanced_any = True
+            if len(contexts) != n_ctx:
+                break
+        return attempts, advanced_any
 
     def _execute(self, frame: Frame, instr: Instruction) -> bool:
         """Execute ``instr``; return False if the context blocked."""
@@ -595,6 +625,15 @@ def _apply_cast(instr: Cast, value):
 ExternalFn = Callable[["Machine", ExecutionContext, List[object]], object]
 AccessHook = Callable[[ExecutionContext, int, str, str], None]
 
+#: Known execution engines: ``decoded`` pre-compiles each function
+#: into closures (repro.ir.engine); ``legacy`` walks the isinstance
+#: dispatch chain above.  Both are step-observably identical.
+ENGINES = ("decoded", "legacy")
+
+#: Engine used when neither the ``Machine(engine=...)`` argument nor
+#: the ``REPRO_ENGINE`` environment variable selects one.
+DEFAULT_ENGINE = "decoded"
+
 
 class Machine:
     """A simulated machine running one or more modules.
@@ -606,13 +645,26 @@ class Machine:
         share one namespace, mirroring a linked executable; each module
         may declare a *placement* color (``module.placement``) in which
         case its globals are allocated in that enclave's region.
+    engine:
+        ``"decoded"`` (default) pre-compiles each function into
+        directly executable closures; ``"legacy"`` re-decodes every
+        instruction per step.  ``REPRO_ENGINE`` overrides the default.
     """
 
     def __init__(self, modules, externals: Optional[Dict[str,
-                                                         ExternalFn]] = None):
+                                                         ExternalFn]] = None,
+                 engine: Optional[str] = None):
         if isinstance(modules, Module):
             modules = [modules]
         self.modules: List[Module] = list(modules)
+        if engine is None:
+            engine = os.environ.get("REPRO_ENGINE") or DEFAULT_ENGINE
+        if engine not in ENGINES:
+            raise IRError(f"unknown execution engine {engine!r}; "
+                          f"expected one of {ENGINES}")
+        self.engine = engine
+        #: Per-Function pre-decoded code (managed by repro.ir.engine).
+        self._decoded_cache: Dict[Function, object] = {}
         self.memory = Memory()
         self.externals: Dict[str, ExternalFn] = dict(DEFAULT_EXTERNALS)
         if externals:
@@ -729,6 +781,10 @@ class Machine:
     # -- memory access with policy/hooks ----------------------------------------------
 
     def mem_read(self, ctx: ExecutionContext, addr: int) -> object:
+        # Un-observed runs skip the region lookup entirely; the read
+        # itself still faults precisely on wild/unmapped addresses.
+        if self.access_policy is None and not self.access_hooks:
+            return self.memory.read(addr)
         region = self.memory.region_of(addr)
         if self.access_policy is not None:
             self.access_policy(ctx, addr, region, "read")
@@ -738,6 +794,9 @@ class Machine:
 
     def mem_write(self, ctx: ExecutionContext, addr: int,
                   value: object) -> None:
+        if self.access_policy is None and not self.access_hooks:
+            self.memory.write(addr, value)
+            return
         region = self.memory.region_of(addr)
         if self.access_policy is not None:
             self.access_policy(ctx, addr, region, "write")
@@ -752,11 +811,32 @@ class Machine:
 
     # -- context / scheduling -----------------------------------------------------------
 
+    def context_class(self):
+        """The :class:`ExecutionContext` subclass of the selected
+        engine."""
+        if self.engine == "decoded":
+            from repro.ir.engine import DecodedExecutionContext
+            return DecodedExecutionContext
+        return ExecutionContext
+
+    def new_context(self, function, args: Sequence[object] = (),
+                    mode: Optional[str] = None,
+                    name: str = "") -> ExecutionContext:
+        """Create (but do not register) a context on this machine's
+        engine.  ``function`` may be ``None`` for an idle worker."""
+        return self.context_class()(self, function, args, mode, name)
+
+    def invalidate_decoded(self) -> None:
+        """Drop all pre-decoded code.  Call after mutating loaded IR
+        (running passes, splicing instructions) mid-machine-lifetime;
+        loading and partitioning before the first run needs nothing."""
+        self._decoded_cache.clear()
+
     def spawn(self, function, args: Sequence[object] = (),
               mode: Optional[str] = None, name: str = "") -> ExecutionContext:
         if isinstance(function, str):
             function = self.function_named(function)
-        ctx = ExecutionContext(self, function, args, mode, name)
+        ctx = self.new_context(function, args, mode, name)
         self.contexts.append(ctx)
         return ctx
 
@@ -782,6 +862,21 @@ class Machine:
             alive = [c for c in self.contexts if not c.finished]
             if not alive:
                 return
+            if len(alive) == 1:
+                # A lone runnable context: burst it without the
+                # per-round list rebuild.  Same step sequence, same
+                # deadlock / max_steps faults as the general loop.
+                ctx = alive[0]
+                attempts, progressed = ctx.run_burst(
+                    max_steps - steps + 1, self.contexts)
+                steps += attempts
+                if steps > max_steps:
+                    raise RuntimeFault(
+                        f"execution exceeded {max_steps} steps")
+                if not progressed and not ctx.finished:
+                    raise RuntimeFault(
+                        "deadlock: every live context is blocked")
+                continue
             progressed = False
             for ctx in alive:
                 if ctx.finished:
@@ -809,9 +904,16 @@ class Machine:
     # -- C-string helpers -------------------------------------------------------------
 
     def read_cstring(self, addr: int, limit: int = 4096) -> str:
+        # Hot in the partitioned runtime (every protocol message names
+        # its chunk / color by C string): read straight out of the
+        # slot dict, falling back to Memory.read only to raise its
+        # precise fault on unmapped addresses.
+        slots = self.memory._slots
         chars = []
-        for i in range(limit):
-            c = self.memory.read(addr + i)
+        for i in range(addr, addr + limit):
+            c = slots.get(i, _UNMAPPED_SLOT)
+            if c is _UNMAPPED_SLOT:
+                c = self.memory.read(i)
             if c == 0:
                 break
             chars.append(chr(int(c)))

@@ -2,9 +2,15 @@
 
 Each pair of workers (per application thread) communicates through a
 FIFO queue stored in unsafe memory (paper §7.3.2).  The original
-implements them as lock-free SPSC queues [21, 28]; here a deque plays
-that role, and the channel keeps the counters the cost model charges:
-every message that crosses an enclave boundary is an enclave-boundary
+implements them as lock-free SPSC queues [21, 28]; here per-kind
+deques play that role — the runtime only ever dequeues *by kind*
+(``spawn`` / ``value`` / ``token``), so keeping one deque per kind
+makes every dequeue O(1) instead of a linear scan of a mixed backlog.
+A monotonically increasing sequence number preserves the global FIFO
+order for multi-kind receives and debugging views.
+
+The channel also keeps the counters the cost model charges: every
+message that crosses an enclave boundary is an enclave-boundary
 event, far cheaper than an SDK ecall but not free (§9.3.2).
 """
 
@@ -18,11 +24,12 @@ class Message:
     """A ``cont`` message carrying an F value or a synchronization
     token (§7.3.2, §7.3.3)."""
 
-    __slots__ = ("kind", "value")
+    __slots__ = ("kind", "value", "seq")
 
     def __init__(self, kind: str, value: object = None):
         self.kind = kind  # "value" | "token"
         self.value = value
+        self.seq = 0  # assigned by Channel.push (per-channel order)
 
     def __repr__(self) -> str:
         return f"<Message {self.kind} {self.value!r}>"
@@ -47,35 +54,77 @@ class SpawnMessage(Message):
 
 
 class Channel:
-    """FIFO queue from one worker to another."""
+    """FIFO queue from one worker to another, segregated by kind."""
 
     def __init__(self, src: str, dst: str):
         self.src = src
         self.dst = dst
-        self.queue: Deque[Message] = deque()
+        self._queues: Dict[str, Deque[Message]] = {}
+        self._seq = 0
+        #: Total queued right now (kept O(1) for scheduler probes).
+        self.count = 0
         self.sent = 0
         self.received = 0
+        #: Messages ever pushed, by kind (feeds message_stats()).
+        self.kind_sent: Dict[str, int] = {}
 
     def push(self, message: Message) -> None:
-        self.queue.append(message)
+        self._seq += 1
+        message.seq = self._seq
+        queue = self._queues.get(message.kind)
+        if queue is None:
+            queue = self._queues[message.kind] = deque()
+        queue.append(message)
+        self.count += 1
         self.sent += 1
+        self.kind_sent[message.kind] = \
+            self.kind_sent.get(message.kind, 0) + 1
+
+    def pop(self, kind: str) -> Optional[Message]:
+        """Pop the oldest message of ``kind`` — O(1)."""
+        queue = self._queues.get(kind)
+        if not queue:
+            return None
+        self.count -= 1
+        self.received += 1
+        return queue.popleft()
 
     def pop_kind(self, kinds: Iterable[str]) -> Optional[Message]:
-        """Pop the oldest message whose kind is in ``kinds``."""
-        kinds = tuple(kinds)
-        for i, message in enumerate(self.queue):
-            if message.kind in kinds:
-                del self.queue[i]
-                self.received += 1
-                return message
-        return None
+        """Pop the oldest message whose kind is in ``kinds`` (global
+        FIFO order across the given kinds)."""
+        best: Optional[Deque[Message]] = None
+        best_seq = 0
+        for kind in kinds:
+            queue = self._queues.get(kind)
+            if queue and (best is None or queue[0].seq < best_seq):
+                best = queue
+                best_seq = queue[0].seq
+        if best is None:
+            return None
+        self.count -= 1
+        self.received += 1
+        return best.popleft()
+
+    def pending(self, kind: Optional[str] = None) -> int:
+        """Queued messages, optionally of one kind only — O(1)."""
+        if kind is not None:
+            queue = self._queues.get(kind)
+            return len(queue) if queue else 0
+        return self.count
+
+    @property
+    def queue(self) -> List[Message]:
+        """Debugging view: all pending messages in arrival order."""
+        merged = [m for q in self._queues.values() for m in q]
+        merged.sort(key=lambda m: m.seq)
+        return merged
 
     def __len__(self) -> int:
-        return len(self.queue)
+        return self.count
 
     def __repr__(self) -> str:
         return (f"<Channel {self.src}->{self.dst} "
-                f"pending={len(self.queue)}>")
+                f"pending={len(self)}>")
 
 
 class ChannelMatrix:
@@ -83,16 +132,34 @@ class ChannelMatrix:
 
     def __init__(self):
         self.channels: Dict[Tuple[str, str], Channel] = {}
+        self._incoming_cache: Dict[str, List[Channel]] = {}
 
     def channel(self, src: str, dst: str) -> Channel:
         key = (src, dst)
-        if key not in self.channels:
-            self.channels[key] = Channel(src, dst)
-        return self.channels[key]
+        ch = self.channels.get(key)
+        if ch is None:
+            ch = self.channels[key] = Channel(src, dst)
+            self._incoming_cache.pop(dst, None)
+        return ch
 
     def incoming(self, dst: str) -> List[Channel]:
-        return [c for (s, d), c in sorted(self.channels.items())
-                if d == dst]
+        cached = self._incoming_cache.get(dst)
+        if cached is None:
+            cached = [c for (s, d), c in sorted(self.channels.items())
+                      if d == dst]
+            self._incoming_cache[dst] = cached
+        return cached
+
+    def has_pending(self, dst: str, kind: Optional[str] = None) -> bool:
+        """Scheduler fast path: is anything queued toward ``dst``
+        (optionally of one kind), without dequeuing?"""
+        for ch in self.incoming(dst):
+            if kind is None:
+                if len(ch):
+                    return True
+            elif ch.pending(kind):
+                return True
+        return False
 
     def total_messages(self) -> int:
         return sum(c.sent for c in self.channels.values())
@@ -103,6 +170,7 @@ class ChannelMatrix:
     def message_stats(self) -> Dict[str, int]:
         stats: Dict[str, int] = {"spawn": 0, "value": 0, "token": 0}
         for channel in self.channels.values():
-            pass  # per-kind counters tracked by the runtime
+            for kind, count in channel.kind_sent.items():
+                stats[kind] = stats.get(kind, 0) + count
         stats["total"] = self.total_messages()
         return stats

@@ -35,6 +35,21 @@ from repro.ir.interp import (
 from repro.runtime.channel import ChannelMatrix, Message, SpawnMessage
 
 
+def _parked_runnable(parked) -> bool:
+    """Could a context parked on this wait make progress now?
+
+    ``_wait_for`` succeeds in exactly two ways: the awaited
+    ``(src, kind)`` message arrives, or a spawn toward its color is
+    queued (run as a trampoline).  Any other queued message — e.g. a
+    token toward this color that the wait is not selecting on — does
+    not unblock it, so it must not wake the context."""
+    group, me, src, kind = parked
+    matrix = group.matrix
+    if matrix.channel(src, me).pending(kind):
+        return True
+    return matrix.has_pending(me, "spawn")
+
+
 class WorkerGroup:
     """The workers and channels of one application thread."""
 
@@ -49,8 +64,8 @@ class WorkerGroup:
     def worker(self, color: str) -> ExecutionContext:
         if color not in self.workers:
             machine = self.runtime.machine
-            ctx = ExecutionContext(machine, None, (), mode=color,
-                                   name=f"worker.{self.group_id}.{color}")
+            ctx = machine.new_context(None, (), mode=color,
+                                      name=f"worker.{self.group_id}.{color}")
             ctx.keep_alive = True
             ctx.privagic_group = self
             machine.contexts.append(ctx)
@@ -88,7 +103,8 @@ class PrivagicRuntime:
 
     def __init__(self, program: PartitionedProgram,
                  externals: Optional[dict] = None,
-                 max_steps: int = 5_000_000):
+                 max_steps: int = 5_000_000,
+                 engine: Optional[str] = None):
         self.program = program
         self.untrusted = program.untrusted
         self.stats = RuntimeStats()
@@ -105,7 +121,8 @@ class PrivagicRuntime:
         }
         if externals:
             ext.update(externals)
-        self.machine = Machine(program.all_modules(), ext)
+        self.machine = Machine(program.all_modules(), ext,
+                               engine=engine)
 
     # -- group / color helpers ----------------------------------------------------
 
@@ -180,21 +197,31 @@ class PrivagicRuntime:
 
     def _wait_for(self, ctx: ExecutionContext, src: str, kind: str):
         """Wait for a message of ``kind`` from ``src``; while blocked,
-        run incoming spawns as trampolines (Fig 7)."""
+        run incoming spawns as trampolines (Fig 7).
+
+        A context that blocks here is *parked* on the exact wait —
+        the awaited ``(src, kind)`` message and incoming spawns are
+        the only two things that can unblock it, so the scheduler
+        skips it until one of them is queued (retrying earlier could
+        only re-produce BLOCK, since the wait's outcome depends
+        solely on the channel contents)."""
         group = self.group_of(ctx)
         me = self.color_of(ctx)
-        message = group.matrix.channel(src, me).pop_kind([kind])
+        message = group.matrix.channel(src, me).pop(kind)
         if message is not None:
+            ctx.privagic_parked = None
             return message.value
         trampoline = self._pop_spawn(group, me)
         if trampoline is not None:
+            ctx.privagic_parked = None
             return trampoline
+        ctx.privagic_parked = (group, me, src, kind)
         return BLOCK
 
     def _pop_spawn(self, group: WorkerGroup,
                    me: str) -> Optional[PushCall]:
         for channel in group.matrix.incoming(me):
-            message = channel.pop_kind(["spawn"])
+            message = channel.pop("spawn")
             if message is not None:
                 return self._trampoline(group, message)
         return None
@@ -266,11 +293,22 @@ class PrivagicRuntime:
         self.run_until_done(main)
         return main.result
 
+    #: Scheduling quantum: a runnable context keeps stepping for up
+    #: to this many steps before the next context is scheduled
+    #: (bursts also end early on BLOCK, finish, or a spawn).  The
+    #: real runtime runs workers on concurrent threads (§7.3), so no
+    #: particular interleaving is promised — the quantum only has to
+    #: be deterministic and bounded, so that a context spinning on
+    #: shared memory cannot starve the others forever.
+    BURST = 256
+
     def run_until_done(self, main: ExecutionContext) -> None:
         steps = 0
+        contexts = self.machine.contexts
         while not self._quiescent(main):
             progressed = False
-            for ctx in list(self.machine.contexts):
+            snapshot = list(contexts)
+            for ctx in snapshot:
                 if ctx.finished:
                     continue
                 if ctx.idle:
@@ -279,21 +317,43 @@ class PrivagicRuntime:
                     group = getattr(ctx, "privagic_group", None)
                     if group is None:
                         continue
-                    push = self._pop_spawn(group, self.color_of(ctx))
+                    me = self.color_of(ctx)
+                    # Fast path: an idle worker with no queued spawn
+                    # cannot make progress — skip it without touching
+                    # its channels.
+                    if not group.matrix.has_pending(me, "spawn"):
+                        continue
+                    push = self._pop_spawn(group, me)
                     if push is not None:
                         ctx.push_external_call(push.function, push.args)
                         if push.on_return is not None:
                             ctx.stack[-1].on_return = push.on_return
                         progressed = True
                     continue
+                parked = getattr(ctx, "privagic_parked", None)
+                if parked is not None and not _parked_runnable(parked):
+                    # Fast path: a parked context whose awaited
+                    # message hasn't arrived (and with no spawn to
+                    # trampoline) cannot make progress — stepping it
+                    # would only re-produce BLOCK.
+                    continue
                 before = ctx.steps
                 ctx.step()
-                if ctx.steps > before or ctx.finished:
-                    progressed = True
                 steps += 1
                 if steps > self.max_steps:
                     raise RuntimeFault(
                         f"partitioned run exceeded {self.max_steps} steps")
+                if ctx.steps > before or ctx.finished:
+                    progressed = True
+                    if not ctx.finished:
+                        burst, _advanced = ctx.run_burst(
+                            min(self.BURST, self.max_steps - steps + 1),
+                            contexts)
+                        steps += burst
+                        if steps > self.max_steps:
+                            raise RuntimeFault(
+                                f"partitioned run exceeded "
+                                f"{self.max_steps} steps")
             if not progressed:
                 self._report_deadlock()
 
@@ -335,9 +395,14 @@ class PrivagicRuntime:
 def run_partitioned(program: PartitionedProgram, entry: str = "main",
                     args: Sequence[object] = (),
                     externals: Optional[dict] = None,
-                    max_steps: int = 5_000_000
+                    max_steps: int = 5_000_000,
+                    engine: Optional[str] = None
                     ) -> Tuple[object, PrivagicRuntime]:
-    """Convenience wrapper: load, run, return (result, runtime)."""
-    runtime = PrivagicRuntime(program, externals, max_steps)
+    """Convenience wrapper: load, run, return (result, runtime).
+
+    ``engine`` picks the interpreter engine ("decoded" or "legacy");
+    None uses ``REPRO_ENGINE`` or the default (see repro.ir.interp).
+    """
+    runtime = PrivagicRuntime(program, externals, max_steps, engine)
     result = runtime.run(entry, args)
     return result, runtime

@@ -36,6 +36,15 @@ class MachineMeter:
         self.accesses_by_region: Dict[str, int] = {}
         machine.access_hooks.append(self._on_access)
 
+    def detach(self) -> "MachineMeter":
+        """Stop observing.  Counters keep their values; the machine's
+        memory subsystem (and the pre-decoded engine's inlined
+        load/store fast path) goes back to paying zero observer
+        overhead once the hook list is empty again."""
+        if self._on_access in self.machine.access_hooks:
+            self.machine.access_hooks.remove(self._on_access)
+        return self
+
     def _on_access(self, ctx: ExecutionContext, addr: int, region: str,
                    rw: str) -> None:
         self._tick += 1

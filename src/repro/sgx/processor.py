@@ -41,6 +41,14 @@ class SGXAccessPolicy:
         machine.access_policy = self
         return self
 
+    def detach(self, machine: Machine) -> "SGXAccessPolicy":
+        """Uninstall the policy.  Besides the obvious, this re-arms
+        the pre-decoded engine's unobserved memory fast path, which
+        only engages while ``machine.access_policy`` is None."""
+        if machine.access_policy is self:
+            machine.access_policy = None
+        return self
+
     def __call__(self, ctx: ExecutionContext, addr: int, region: str,
                  rw: str) -> None:
         self.checked_accesses += 1

@@ -108,3 +108,81 @@ def test_deadlock_reported_not_hung():
     with pytest.raises(RuntimeFault) as excinfo:
         runtime.run("main")
     assert "deadlock" in str(excinfo.value)
+
+
+def test_mixed_backlog_fifo_within_kind():
+    """A mixed spawn/value/token backlog must dequeue FIFO *within*
+    each kind, however the kinds interleave on the wire."""
+    ch = Channel("blue", "S")
+    ch.push(Message("value", "v1"))
+    ch.push(SpawnMessage("a$F@S", [1], None))
+    ch.push(Message("token", "t1"))
+    ch.push(Message("value", "v2"))
+    ch.push(SpawnMessage("b$F@S", [2], None))
+    ch.push(Message("token", "t2"))
+    ch.push(Message("value", "v3"))
+    assert [ch.pop("value").value for _ in range(3)] == \
+        ["v1", "v2", "v3"]
+    assert [ch.pop("spawn").chunk for _ in range(2)] == \
+        ["a$F@S", "b$F@S"]
+    assert [ch.pop("token").value for _ in range(2)] == ["t1", "t2"]
+    assert len(ch) == 0
+    assert ch.pop("value") is None
+
+
+def test_pop_kind_global_fifo_across_kinds():
+    """pop_kind with several kinds must honor arrival order across
+    the per-kind queues (the seq numbers, not queue order)."""
+    ch = Channel("blue", "S")
+    ch.push(Message("token", "t1"))
+    ch.push(Message("value", "v1"))
+    ch.push(Message("token", "t2"))
+    got = [ch.pop_kind(["value", "token"]).value for _ in range(3)]
+    assert got == ["t1", "v1", "t2"]
+
+
+def test_message_stats_per_kind_counts():
+    """Regression: message_stats() used to report all zeros (the
+    per-channel loop body was `pass`)."""
+    matrix = ChannelMatrix()
+    ch = matrix.channel("blue", "S")
+    ch.push(SpawnMessage("g$F@S", [21], None))
+    ch.push(Message("value", 1))
+    ch.push(Message("value", 2))
+    matrix.channel("S", "blue").push(Message("token"))
+    stats = matrix.message_stats()
+    assert stats["spawn"] == 1
+    assert stats["value"] == 2
+    assert stats["token"] == 1
+    assert stats["total"] == 4
+    # Draining the queues must not change what was *sent*.
+    ch.pop("value")
+    assert matrix.message_stats() == stats
+
+
+def test_pending_counters_stay_consistent():
+    """The O(1) pending counters must track push/pop/pop_kind."""
+    ch = Channel("a", "b")
+    assert ch.pending() == 0
+    ch.push(Message("value", 1))
+    ch.push(Message("token"))
+    ch.push(Message("value", 2))
+    assert ch.pending() == 3 == len(ch)
+    assert ch.pending("value") == 2
+    assert ch.pending("token") == 1
+    assert ch.pending("spawn") == 0
+    ch.pop("token")
+    assert ch.pending() == 2
+    ch.pop_kind(["value", "token"])
+    assert ch.pending() == 1 and ch.pending("value") == 1
+    ch.pop("value")
+    assert ch.pending() == 0 == len(ch)
+
+
+def test_matrix_has_pending_by_kind():
+    matrix = ChannelMatrix()
+    matrix.channel("blue", "S").push(Message("token"))
+    assert matrix.has_pending("S")
+    assert matrix.has_pending("S", "token")
+    assert not matrix.has_pending("S", "spawn")
+    assert not matrix.has_pending("blue")

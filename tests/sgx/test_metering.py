@@ -57,3 +57,34 @@ def test_enclave_run_costs_more_than_plain_run():
     machine2.run()
 
     assert enclave.cycles > plain.cycles * 1.3
+
+
+def test_meter_detach_stops_observation():
+    """detach() removes the access hook: counters freeze and the
+    machine goes back to unobserved (fast-path) execution."""
+    module = compile_source(SOURCE)
+    machine = Machine(module)
+    meter = MachineMeter(machine)
+    machine.run_function("main")
+    seen = sum(meter.accesses_by_region.values())
+    assert seen > 0 and machine.access_hooks
+    meter.detach()
+    assert not machine.access_hooks
+    machine.run_function("main")
+    assert sum(meter.accesses_by_region.values()) == seen
+    meter.detach()  # idempotent
+    assert not machine.access_hooks
+
+
+def test_policy_detach_uninstalls():
+    from repro.sgx import SGXAccessPolicy
+    module = compile_source(SOURCE)
+    machine = Machine(module)
+    policy = SGXAccessPolicy().attach(machine)
+    assert machine.access_policy is policy
+    policy.detach(machine)
+    assert machine.access_policy is None
+    # Detaching somebody else's policy must not clobber it.
+    other = SGXAccessPolicy().attach(machine)
+    policy.detach(machine)
+    assert machine.access_policy is other
