@@ -27,7 +27,7 @@ import sys
 
 import pytest
 
-from repro.bench import Report, measure, speedup
+from repro.bench import Report, capture_trace, measure, speedup
 from repro.core.colors import RELAXED
 from repro.core.compiler import compile_and_partition
 from repro.frontend import compile_source
@@ -203,6 +203,13 @@ def regenerate_dispatch_report() -> Report:
                f"message protocol is engine-independent work)")
     path = write_json(results)
     report.add(f"machine-readable results: {os.path.basename(path)}")
+    trace_path = os.environ.get("REPRO_TRACE")
+    if trace_path:
+        # One extra instrumented fig7 run (the timed loops above ran
+        # unobserved): leaves a Chrome trace next to the JSON.
+        program = compile_and_partition(FIG7_SOURCE, mode=RELAXED)
+        capture_trace(program, trace_path)
+        report.add(f"chrome trace: {trace_path}")
     if not SMOKE:
         assert fig7 >= 5.0, \
             f"pre-decoded engine below 5x on fig7: {fig7:.2f}x"

@@ -1,0 +1,28 @@
+// The running example of paper §7.3 (Figures 6 and 7): main (blue)
+// calls f (uncolored), which calls g writing both blue and red
+// globals — so the partitioner splits g across the blue and red
+// enclaves and the runtime drives the Fig 7 spawn/cont protocol.
+//
+// Try:  PYTHONPATH=src python -m repro run examples/fig7.c \
+//           --mode relaxed --trace /tmp/fig7-trace.json --stats
+
+int unsafe_g = 0;
+int color(blue) blue_g = 10;
+int color(red) red_g = 0;
+
+void g(int n) {
+    blue_g = n;
+    red_g = n;
+    printf("Hello\n");
+}
+
+int f(int y) {
+    g(21);
+    return 42;
+}
+
+entry int main() {
+    unsafe_g = 1;
+    int x = f(blue_g);
+    return x;
+}

@@ -15,3 +15,14 @@ export PYTHONPATH=src
 python -m pytest -x -q -m "not slow" "$@"
 REPRO_BENCH_SMOKE=1 python benchmarks/bench_interp_dispatch.py
 rm -f BENCH_interp.smoke.json
+
+# CLI smoke: run the Fig 7 example with tracing and validate the
+# output parses as Chrome trace_event JSON.
+TRACE_OUT=$(mktemp /tmp/repro-trace.XXXXXX.json)
+python -m repro run examples/fig7.c --mode relaxed \
+    --trace "$TRACE_OUT" --stats > /dev/null
+python -c "import sys; \
+    from repro.obs.export import validate_chrome_trace_file; \
+    n = validate_chrome_trace_file(sys.argv[1]); \
+    print(f'cli smoke: trace OK ({n} events)')" "$TRACE_OUT"
+rm -f "$TRACE_OUT"

@@ -7,8 +7,9 @@ which renders the same rows/series the paper reports and records
 paper-vs-measured values for EXPERIMENTS.md.
 """
 
-from repro.bench.harness import Report, band_check, format_table
+from repro.bench.harness import (Report, band_check,
+                                 capture_trace, format_table)
 from repro.bench.timing import Timing, measure, speedup
 
-__all__ = ["Report", "band_check", "format_table",
+__all__ = ["Report", "band_check", "capture_trace", "format_table",
            "Timing", "measure", "speedup"]

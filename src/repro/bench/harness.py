@@ -79,3 +79,21 @@ class Report:
             handle.write(self.text())
         print(self.text())
         return path
+
+
+def capture_trace(program, path: str, entry: str = "main",
+                  engine: Optional[str] = None) -> str:
+    """Run ``program`` once with the observability layer attached and
+    write a Chrome trace to ``path``.
+
+    The ``REPRO_TRACE=<path>`` hook of the benchmark scripts: timing
+    loops run unobserved (the tracer would distort them), then this
+    captures one instrumented run for the same workload so a
+    ``BENCH_*.json`` regeneration can also leave a profile behind.
+    """
+    from repro.obs import Observability
+    from repro.runtime import run_partitioned
+
+    obs = Observability(trace=True)
+    run_partitioned(program, entry, engine=engine, observability=obs)
+    return obs.write_trace(path)

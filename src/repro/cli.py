@@ -27,6 +27,7 @@ from repro.core.colors import HARDENED, RELAXED
 from repro.core.compiler import PrivagicCompiler
 from repro.errors import PrivagicError
 from repro.frontend import compile_source
+from repro.ir.interp import ENGINES
 from repro.ir.printer import print_module
 
 
@@ -62,6 +63,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(run)
     run.add_argument("--entry", default="main",
                      help="entry point (default: main)")
+    run.add_argument("--engine", choices=list(ENGINES), default=None,
+                     help="interpreter engine (default: decoded, or "
+                          "REPRO_ENGINE)")
+    run.add_argument("--max-steps", type=int, default=None,
+                     metavar="N",
+                     help="abort the run after N scheduler steps")
+    run.add_argument("--trace", metavar="OUT.json", default=None,
+                     help="write a Chrome trace_event JSON of the run "
+                          "(load in chrome://tracing or Perfetto)")
+    run.add_argument("--stats", action="store_true",
+                     help="print the full metrics dump after the run")
     run.add_argument("args", nargs="*", type=int,
                      help="integer arguments for the entry point")
     return parser
@@ -110,14 +122,32 @@ def cmd_run(options) -> int:
     compiler = PrivagicCompiler(mode=options.mode)
     program = compiler.compile_source(_read(options.file),
                                       os.path.basename(options.file))
-    runtime = PrivagicRuntime(program)
+    kwargs = {}
+    if options.max_steps is not None:
+        kwargs["max_steps"] = options.max_steps
+    runtime = PrivagicRuntime(program, engine=options.engine, **kwargs)
     SGXAccessPolicy().attach(runtime.machine)
-    result = runtime.run(options.entry, options.args)
+    obs = None
+    if options.trace or options.stats:
+        from repro.obs import Observability
+        obs = Observability(trace=options.trace is not None)
+        obs.attach(runtime)
+    try:
+        result = runtime.run(options.entry, options.args)
+    finally:
+        if obs is not None:
+            obs.detach()
     if runtime.machine.stdout:
         sys.stdout.write(runtime.machine.stdout)
     print(f"{options.entry}({', '.join(map(str, options.args))}) "
           f"= {result}")
     print(f"messages: {runtime.stats.as_dict()}")
+    if obs is not None and options.trace:
+        obs.write_trace(options.trace)
+        print(f"trace: wrote {options.trace} "
+              f"({len(obs.tracer.events)} events)")
+    if obs is not None and options.stats:
+        print(obs.metrics_text())
     return 0
 
 

@@ -1394,6 +1394,9 @@ class DecodedExecutionContext(ExecutionContext):
         so this is unobservable apart from speed)."""
         machine = self.machine
         stack = self.stack
+        tracer = machine.tracer
+        t0 = tracer.now_us() if tracer is not None else 0.0
+        start_steps = self.steps
         n_ctx = len(contexts)
         attempts = 0
         advanced_any = False
@@ -1455,4 +1458,7 @@ class DecodedExecutionContext(ExecutionContext):
                 break
             if len(contexts) != n_ctx:
                 break
+        if tracer is not None and self.steps > start_steps:
+            tracer.step_burst(self.name, self.mode,
+                              self.steps - start_steps, t0)
         return attempts, advanced_any

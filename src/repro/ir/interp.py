@@ -313,6 +313,9 @@ class ExecutionContext:
         round-robin over that single context would produce, minus the
         per-round bookkeeping.  Returns ``(attempts, advanced_any)``.
         """
+        tracer = self.machine.tracer
+        t0 = tracer.now_us() if tracer is not None else 0.0
+        start_steps = self.steps
         n_ctx = len(contexts)
         attempts = 0
         advanced_any = False
@@ -325,6 +328,9 @@ class ExecutionContext:
             advanced_any = True
             if len(contexts) != n_ctx:
                 break
+        if tracer is not None and self.steps > start_steps:
+            tracer.step_burst(self.name, self.mode,
+                              self.steps - start_steps, t0)
         return attempts, advanced_any
 
     def _execute(self, frame: Frame, instr: Instruction) -> bool:
@@ -677,6 +683,10 @@ class Machine:
         self.access_hooks: List[AccessHook] = []
         #: Policy called before each access; may raise SGXAccessViolation.
         self.access_policy: Optional[AccessHook] = None
+        #: Optional :class:`repro.obs.tracer.Tracer` recording
+        #: step-burst events; guarded like ``access_hooks`` (one
+        #: ``is not None`` check per burst, never per step).
+        self.tracer = None
 
         self._globals: Dict[int, int] = {}          # id(gv) -> address
         self._functions_by_name: Dict[str, Function] = {}

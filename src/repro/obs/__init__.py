@@ -1,0 +1,54 @@
+"""repro.obs — unified observability: structured tracing + metrics.
+
+The evaluation of the paper (§9, Figs 8-10) is measurement: message
+counts, boundary crossings, LLC/EPC cost breakdowns.  This package
+makes those measurements recordable, correlatable and exportable:
+
+* :mod:`repro.obs.tracer` — a low-overhead :class:`Tracer` with typed
+  events (interpreter step-bursts, chunk spawn/trampoline/reply,
+  channel push/pop with queue depth, enclave memory traffic, cost
+  charges), a no-op when detached;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of named
+  counters/gauges/histograms the existing subsystems publish into;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (loadable in
+  ``chrome://tracing`` / Perfetto) with a strict schema validator,
+  plus flat JSON/text metrics dumps;
+* :mod:`repro.obs.observe` — :class:`Observability`, the attach/
+  detach choreography tying a tracer + meter + registry to one
+  :class:`~repro.runtime.executor.PrivagicRuntime` run.
+
+Surfaces: ``repro run --trace out.json --stats`` in the CLI, the
+``REPRO_TRACE`` hook of the benchmark suite, and direct library use.
+"""
+
+from repro.obs.export import (
+    TraceFormatError,
+    metrics_to_json,
+    metrics_to_text,
+    trace_event_names,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observe import Observability
+from repro.obs.tracer import CATEGORIES, Tracer
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "TraceFormatError",
+    "Tracer",
+    "metrics_to_json",
+    "metrics_to_text",
+    "trace_event_names",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "write_chrome_trace",
+    "write_metrics_json",
+]

@@ -1,0 +1,116 @@
+"""Exporters and format checks for :mod:`repro.obs` artifacts.
+
+Two wire formats leave the system:
+
+* **Chrome ``trace_event`` JSON** (from :class:`~repro.obs.tracer.
+  Tracer`): loadable in ``chrome://tracing`` / Perfetto.
+  :func:`validate_chrome_trace` is the schema check used by the test
+  suite and by ``scripts/check.sh``'s CLI smoke — it validates the
+  subset of the trace-event spec this tracer emits, strictly.
+
+* **Flat metrics dumps** (from :class:`~repro.obs.metrics.
+  MetricsRegistry`): JSON (:func:`metrics_to_json`) for machines,
+  ``name = value`` text for the ``--stats`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import CATEGORIES, Tracer
+
+#: Event phases the tracer emits: complete, instant, counter, metadata.
+KNOWN_PHASES = ("X", "i", "C", "M")
+
+
+class TraceFormatError(ValueError):
+    """A trace object violating the expected Chrome trace schema."""
+
+
+def validate_chrome_trace(trace: object) -> int:
+    """Validate a parsed Chrome trace object; returns the number of
+    events.  Raises :class:`TraceFormatError` on the first violation.
+
+    Checks the envelope (a dict with a ``traceEvents`` list) and every
+    event: required fields, known phases and categories, numeric
+    non-negative timestamps, and ``dur`` on complete events.
+    """
+    if not isinstance(trace, dict):
+        raise TraceFormatError(f"trace root is {type(trace).__name__},"
+                               f" expected object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceFormatError("trace has no traceEvents list")
+    for i, event in enumerate(events):
+        _validate_event(i, event)
+    return len(events)
+
+
+def _validate_event(i: int, event: object) -> None:
+    if not isinstance(event, dict):
+        raise TraceFormatError(f"event {i} is not an object")
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        raise TraceFormatError(f"event {i} has no name")
+    ph = event.get("ph")
+    if ph not in KNOWN_PHASES:
+        raise TraceFormatError(f"event {i} ({name}): unknown phase "
+                               f"{ph!r}")
+    if not isinstance(event.get("pid"), int):
+        raise TraceFormatError(f"event {i} ({name}): missing pid")
+    if not isinstance(event.get("tid"), int):
+        raise TraceFormatError(f"event {i} ({name}): missing tid")
+    if ph == "M":
+        return  # metadata events carry no timestamp
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        raise TraceFormatError(f"event {i} ({name}): bad ts {ts!r}")
+    cat = event.get("cat")
+    if cat not in CATEGORIES:
+        raise TraceFormatError(f"event {i} ({name}): unknown category "
+                               f"{cat!r}")
+    if ph == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            raise TraceFormatError(f"event {i} ({name}): complete "
+                                   f"event with bad dur {dur!r}")
+    if "args" in event and not isinstance(event["args"], dict):
+        raise TraceFormatError(f"event {i} ({name}): args not an "
+                               f"object")
+
+
+def validate_chrome_trace_file(path: str) -> int:
+    """Load ``path`` as JSON and validate it; returns the event
+    count."""
+    with open(path) as handle:
+        return validate_chrome_trace(json.load(handle))
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> str:
+    """Export a tracer to a Chrome trace file (delegates to the
+    tracer; kept here so callers only import one module)."""
+    return tracer.write_chrome(path)
+
+
+def metrics_to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    return json.dumps(registry.as_dict(), indent=indent,
+                      sort_keys=True)
+
+
+def write_metrics_json(registry: MetricsRegistry, path: str) -> str:
+    with open(path, "w") as handle:
+        handle.write(metrics_to_json(registry))
+        handle.write("\n")
+    return path
+
+
+def metrics_to_text(registry: MetricsRegistry) -> str:
+    return registry.to_text()
+
+
+def trace_event_names(trace: dict) -> List[str]:
+    """Distinct event names of a parsed trace (schema-test helper)."""
+    return sorted({e.get("name", "") for e in
+                   trace.get("traceEvents", [])})

@@ -1,0 +1,206 @@
+"""Named counters, gauges and histograms — the metrics half of
+:mod:`repro.obs`.
+
+The evaluation (§9, Figs 8-10) is built on counted quantities: message
+counts, boundary crossings, interpreter steps, cycles by cost class.
+Before this module each subsystem kept its own ad-hoc dict
+(``RuntimeStats`` attributes, ``Channel.kind_sent``,
+``CostMeter.breakdown`` / ``counts``, engine step counters); the
+:class:`MetricsRegistry` gives them one namespace to publish into, one
+export format, and one place for a differential test to cross-check
+that the layers agree (``tests/obs/test_differential_stats.py``).
+
+Publishing is *pull-based*: the hot paths keep their plain-int
+counters (attribute increments are the cheapest thing Python can do),
+and :meth:`repro.obs.observe.Observability.publish` snapshots them
+into the registry when somebody asks.  Only genuinely new series
+(queue-depth histograms, per-chunk profiles) are pushed live.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+    def set(self, value: Number) -> None:
+        """Snapshot-publish: overwrite with an externally kept total."""
+        self.value = value
+
+    def get(self) -> Number:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, resident slots)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+    def dec(self, n: Number = 1) -> None:
+        self.value -= n
+
+    def get(self) -> Number:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Streaming summary of observed samples (count/sum/min/max/mean).
+
+    No buckets: the consumers here (queue depths, burst lengths) need
+    ranking and sanity checks, not quantile estimation, and a fixed
+    five-field summary keeps ``observe`` O(1) with no allocation.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def get(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0,
+            "max": self.max if self.max is not None else 0,
+            "mean": round(self.mean, 4),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Histogram {self.name} n={self.count} "
+                f"mean={self.mean:.2f}>")
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A flat namespace of named metrics.
+
+    Names are dotted paths; a label rides in square brackets
+    (``"runtime.spawns"``, ``"chunk.spawns[g$F@blue]"``).  Metrics are
+    created on first use and type-checked on reuse, so two subsystems
+    publishing the same name cannot silently disagree on semantics.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- creation / lookup -------------------------------------------------------
+
+    def _get(self, name: str, cls) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{metric.kind}, not {cls.kind}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- convenience -------------------------------------------------------------
+
+    def inc(self, name: str, n: Number = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set(self, name: str, value: Number) -> None:
+        self.counter(name).set(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        self.histogram(name).observe(value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def items(self) -> Iterable[Tuple[str, Metric]]:
+        return sorted(self._metrics.items())
+
+    # -- export ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat JSON-ready snapshot: name -> value (histograms expand
+        to their summary dict)."""
+        return {name: metric.get() for name, metric in self.items()}
+
+    def to_text(self) -> str:
+        """Human-readable dump, one ``name = value`` line per metric,
+        sorted by name (the ``--stats`` CLI output)."""
+        lines = []
+        for name, metric in self.items():
+            value = metric.get()
+            if isinstance(value, dict):
+                inner = " ".join(f"{k}={v}" for k, v in value.items())
+                lines.append(f"{name} = {{{inner}}}")
+            elif isinstance(value, float):
+                lines.append(f"{name} = {value:.2f}")
+            else:
+                lines.append(f"{name} = {value}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry {len(self._metrics)} metrics>"

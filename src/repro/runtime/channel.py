@@ -54,9 +54,20 @@ class SpawnMessage(Message):
 
 
 class Channel:
-    """FIFO queue from one worker to another, segregated by kind."""
+    """FIFO queue from one worker to another, segregated by kind.
 
-    def __init__(self, src: str, dst: str):
+    Counter semantics: ``sent`` / ``received`` / ``kind_sent`` count
+    *protocol messages*, not queue entries.  A spawn's F arguments are
+    separate ``cont`` messages in the paper's protocol (Fig 7); they
+    ride inline in the :class:`SpawnMessage` here, so pushing a spawn
+    with *k* arguments counts one ``spawn`` plus *k* ``value``
+    messages — keeping these totals in agreement with
+    ``RuntimeStats`` (see ``tests/obs/test_differential_stats.py``).
+    ``count`` / ``pending`` track queue entries and stay O(1).
+    """
+
+    def __init__(self, src: str, dst: str,
+                 tracer: Optional[object] = None):
         self.src = src
         self.dst = dst
         self._queues: Dict[str, Deque[Message]] = {}
@@ -67,27 +78,49 @@ class Channel:
         self.received = 0
         #: Messages ever pushed, by kind (feeds message_stats()).
         self.kind_sent: Dict[str, int] = {}
+        #: Optional :class:`repro.obs.tracer.Tracer`; ``None`` keeps
+        #: push/pop free of observer work.
+        self.tracer = tracer
 
     def push(self, message: Message) -> None:
         self._seq += 1
         message.seq = self._seq
-        queue = self._queues.get(message.kind)
+        kind = message.kind
+        queue = self._queues.get(kind)
         if queue is None:
-            queue = self._queues[message.kind] = deque()
+            queue = self._queues[kind] = deque()
         queue.append(message)
         self.count += 1
         self.sent += 1
-        self.kind_sent[message.kind] = \
-            self.kind_sent.get(message.kind, 0) + 1
+        self.kind_sent[kind] = self.kind_sent.get(kind, 0) + 1
+        if kind == "spawn":
+            inline = len(message.args)
+            if inline:
+                # Inline F arguments are cont (value) messages on the
+                # paper's wire — account them as sent values.
+                self.sent += inline
+                self.kind_sent["value"] = \
+                    self.kind_sent.get("value", 0) + inline
+        if self.tracer is not None:
+            self.tracer.channel_push(self.src, self.dst, kind,
+                                     self.count)
+
+    def _delivered(self, message: Message) -> Message:
+        self.count -= 1
+        self.received += 1
+        if message.kind == "spawn":
+            self.received += len(message.args)
+        if self.tracer is not None:
+            self.tracer.channel_pop(self.src, self.dst, message.kind,
+                                    self.count)
+        return message
 
     def pop(self, kind: str) -> Optional[Message]:
         """Pop the oldest message of ``kind`` — O(1)."""
         queue = self._queues.get(kind)
         if not queue:
             return None
-        self.count -= 1
-        self.received += 1
-        return queue.popleft()
+        return self._delivered(queue.popleft())
 
     def pop_kind(self, kinds: Iterable[str]) -> Optional[Message]:
         """Pop the oldest message whose kind is in ``kinds`` (global
@@ -101,9 +134,7 @@ class Channel:
                 best_seq = queue[0].seq
         if best is None:
             return None
-        self.count -= 1
-        self.received += 1
-        return best.popleft()
+        return self._delivered(best.popleft())
 
     def pending(self, kind: Optional[str] = None) -> int:
         """Queued messages, optionally of one kind only — O(1)."""
@@ -130,17 +161,25 @@ class Channel:
 class ChannelMatrix:
     """All channels of one worker group (one application thread)."""
 
-    def __init__(self):
+    def __init__(self, tracer: Optional[object] = None):
         self.channels: Dict[Tuple[str, str], Channel] = {}
         self._incoming_cache: Dict[str, List[Channel]] = {}
+        self.tracer = tracer
 
     def channel(self, src: str, dst: str) -> Channel:
         key = (src, dst)
         ch = self.channels.get(key)
         if ch is None:
-            ch = self.channels[key] = Channel(src, dst)
+            ch = self.channels[key] = Channel(src, dst, self.tracer)
             self._incoming_cache.pop(dst, None)
         return ch
+
+    def set_tracer(self, tracer: Optional[object]) -> None:
+        """Attach/detach a tracer on this matrix and every existing
+        channel (new channels inherit it)."""
+        self.tracer = tracer
+        for ch in self.channels.values():
+            ch.tracer = tracer
 
     def incoming(self, dst: str) -> List[Channel]:
         cached = self._incoming_cache.get(dst)

@@ -56,7 +56,7 @@ class WorkerGroup:
     def __init__(self, runtime: "PrivagicRuntime", group_id: int):
         self.runtime = runtime
         self.group_id = group_id
-        self.matrix = ChannelMatrix()
+        self.matrix = ChannelMatrix(runtime.tracer)
         #: color -> worker context (the untrusted "worker" is the
         #: application thread itself and is not stored here)
         self.workers: Dict[str, ExecutionContext] = {}
@@ -74,7 +74,14 @@ class WorkerGroup:
 
 
 class RuntimeStats:
-    """Counters feeding the evaluation (message = boundary crossing)."""
+    """Counters feeding the evaluation (message = boundary crossing).
+
+    These totals agree by construction with the per-channel
+    ``kind_sent`` counts (every increment here accompanies a channel
+    push) and with what :meth:`repro.obs.observe.Observability.
+    publish` exports; ``tests/obs/test_differential_stats.py`` keeps
+    the three layers honest.
+    """
 
     def __init__(self):
         self.spawns = 0
@@ -82,10 +89,21 @@ class RuntimeStats:
         self.tokens = 0
         self.boundary_crossings = 0
         self.trampoline_runs = 0
+        #: Per-chunk profile: chunk name -> counts of spawns, inline
+        #: F arguments, trampoline runs and replies.
+        self.per_chunk: Dict[str, Dict[str, int]] = {}
 
     @property
     def messages(self) -> int:
         return self.spawns + self.values + self.tokens
+
+    def chunk_event(self, chunk: str, key: str, n: int = 1) -> None:
+        profile = self.per_chunk.get(chunk)
+        if profile is None:
+            profile = self.per_chunk[chunk] = {
+                "spawns": 0, "f_args": 0, "trampolines": 0,
+                "replies": 0}
+        profile[key] += n
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -109,6 +127,10 @@ class PrivagicRuntime:
         self.untrusted = program.untrusted
         self.stats = RuntimeStats()
         self.max_steps = max_steps
+        #: Optional :class:`repro.obs.tracer.Tracer`, installed by
+        #: :class:`repro.obs.observe.Observability`; ``None`` keeps
+        #: every runtime path free of observer work.
+        self.tracer = None
         self._groups: Dict[int, WorkerGroup] = {}
         self._next_group = 1
         ext = {
@@ -155,7 +177,12 @@ class PrivagicRuntime:
         self.stats.spawns += 1
         # Each F argument is a cont message in the paper's protocol.
         self.stats.values += len(f_args)
+        self.stats.chunk_event(chunk, "spawns")
+        if f_args:
+            self.stats.chunk_event(chunk, "f_args", len(f_args))
         self._count_crossing(src, dst, 1 + len(f_args))
+        if self.tracer is not None:
+            self.tracer.spawn(chunk, src, dst, len(f_args))
         # Make sure the destination worker exists.
         if dst != self.untrusted:
             group.worker(dst)
@@ -230,30 +257,48 @@ class PrivagicRuntime:
                     message: SpawnMessage) -> PushCall:
         """Build the chunk invocation for a spawn message: slot the
         cont-carried F arguments into the chunk's signature and, if a
-        reply is expected, send the return value back (Fig 7: c5)."""
-        chunk_fn = self.machine.function_named(message.chunk)
-        arg_colors = self.program.chunk_args.get(message.chunk, ())
+        reply is expected, send the return value back (Fig 7: c5).
+
+        A spawn whose payload does not match the chunk's signature is
+        a protocol violation (a buggy partitioner, or a forged message
+        in unsafe memory); it faults loudly instead of being papered
+        over with zero-padding or silent truncation.
+        """
+        chunk = message.chunk
+        chunk_fn = self.machine.function_named(chunk)
+        arg_colors = self.program.chunk_args.get(chunk, ())
+        if len(arg_colors) != len(chunk_fn.args):
+            raise RuntimeFault(
+                f"spawn of chunk {chunk!r}: partition metadata lists "
+                f"{len(arg_colors)} argument color(s) but "
+                f"@{chunk_fn.name} takes {len(chunk_fn.args)}")
+        f_slots = sum(1 for color in arg_colors if color == "F")
+        if len(message.args) != f_slots:
+            raise RuntimeFault(
+                f"spawn of chunk {chunk!r}: carries "
+                f"{len(message.args)} F value(s) but the signature "
+                f"has {f_slots} F slot(s)")
         f_values = list(message.args)
-        call_args: List[object] = []
-        for color in arg_colors:
-            if color == "F" and f_values:
-                call_args.append(f_values.pop(0))
-            else:
-                call_args.append(0)
-        while len(call_args) < len(chunk_fn.args):
-            call_args.append(0)
-        call_args = call_args[:len(chunk_fn.args)]
+        call_args: List[object] = [
+            f_values.pop(0) if color == "F" else 0
+            for color in arg_colors]
         push = PushCall(chunk_fn, call_args, replay=True)
         self.stats.trampoline_runs += 1
+        self.stats.chunk_event(chunk, "trampolines")
+        me = self.program.chunk_colors.get(chunk, self.untrusted)
+        if self.tracer is not None:
+            self.tracer.trampoline(chunk, me)
         if message.reply_to is not None:
             dst = message.reply_to
-            me = self.program.chunk_colors[message.chunk]
 
             def reply(result, dst=dst, me=me, group=group):
                 group.matrix.channel(me, dst).push(
                     Message("value", result))
                 self.stats.values += 1
+                self.stats.chunk_event(chunk, "replies")
                 self._count_crossing(me, dst, 1)
+                if self.tracer is not None:
+                    self.tracer.reply(chunk, me, dst)
 
             push.on_return = reply
         return push
@@ -274,6 +319,17 @@ class PrivagicRuntime:
     def _count_crossing(self, src: str, dst: str, count: int) -> None:
         if src != dst:
             self.stats.boundary_crossings += count
+
+    def message_stats(self) -> Dict[str, int]:
+        """Per-kind protocol message totals aggregated over every
+        worker group's channel matrix (one matrix per application
+        thread)."""
+        totals: Dict[str, int] = {"spawn": 0, "value": 0, "token": 0,
+                                  "total": 0}
+        for group in self._groups.values():
+            for kind, count in group.matrix.message_stats().items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
 
     # -- scheduling ---------------------------------------------------------------------
 
@@ -396,13 +452,24 @@ def run_partitioned(program: PartitionedProgram, entry: str = "main",
                     args: Sequence[object] = (),
                     externals: Optional[dict] = None,
                     max_steps: int = 5_000_000,
-                    engine: Optional[str] = None
+                    engine: Optional[str] = None,
+                    observability=None
                     ) -> Tuple[object, PrivagicRuntime]:
     """Convenience wrapper: load, run, return (result, runtime).
 
     ``engine`` picks the interpreter engine ("decoded" or "legacy");
     None uses ``REPRO_ENGINE`` or the default (see repro.ir.interp).
+    ``observability`` is an optional :class:`repro.obs.Observability`
+    attached for the duration of the run and detached afterwards
+    (also on error), so its trace and metrics cover exactly this run.
     """
     runtime = PrivagicRuntime(program, externals, max_steps, engine)
-    result = runtime.run(entry, args)
+    if observability is not None:
+        observability.attach(runtime)
+        try:
+            result = runtime.run(entry, args)
+        finally:
+            observability.detach()
+    else:
+        result = runtime.run(entry, args)
     return result, runtime

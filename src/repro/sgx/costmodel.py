@@ -22,7 +22,7 @@ cycles and converts to time/throughput.  The deployment models of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 KIB = 1024
 MIB = 1024 * KIB
@@ -86,18 +86,44 @@ MACHINE_B = CostParams(
 
 
 class CostMeter:
-    """Accumulates simulated cycles, broken down by cost class."""
+    """Accumulates simulated cycles, broken down by cost class.
+
+    Event counts accumulate as *floats* internally — fractional counts
+    arise naturally (``memory_accesses`` splits ``n`` accesses by a
+    miss ratio) and truncating them per call systematically undercounts
+    across many small charges.  ``counts`` rounds only at reporting.
+    """
 
     def __init__(self, params: CostParams):
         self.params = params
         self.cycles: float = 0.0
         self.breakdown: Dict[str, float] = {}
-        self.counts: Dict[str, int] = {}
+        self._counts: Dict[str, float] = {}
+        #: optional ``fn(kind, cycles, count)`` called on every charge;
+        #: ``None`` keeps charging free of observer work.
+        self._observer: Optional[Callable[[str, float, float], None]] \
+            = None
 
-    def charge(self, kind: str, cycles: float, count: int = 1) -> None:
+    def set_observer(
+            self,
+            fn: Optional[Callable[[str, float, float], None]]) -> None:
+        """Attach/detach a per-charge observer (e.g. a tracer's
+        ``cost_charge``)."""
+        self._observer = fn
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Event counts per cost class, rounded for reporting."""
+        return {kind: int(round(count))
+                for kind, count in self._counts.items()}
+
+    def charge(self, kind: str, cycles: float,
+               count: float = 1) -> None:
         self.cycles += cycles
         self.breakdown[kind] = self.breakdown.get(kind, 0.0) + cycles
-        self.counts[kind] = self.counts.get(kind, 0) + count
+        self._counts[kind] = self._counts.get(kind, 0.0) + count
+        if self._observer is not None:
+            self._observer(kind, cycles, count)
 
     # -- cost classes -----------------------------------------------------------
 
@@ -110,18 +136,18 @@ class CostMeter:
         p = self.params
         hits = n * (1.0 - miss_ratio)
         misses = n * miss_ratio
-        self.charge("llc_hit", hits * p.llc_hit_cycles, int(hits))
+        self.charge("llc_hit", hits * p.llc_hit_cycles, hits)
         miss_cost = p.llc_miss_cycles
         if in_enclave:
             miss_cost *= p.enclave_miss_factor
             self.charge("llc_miss_enclave", misses * miss_cost,
-                        int(misses))
+                        misses)
             if epc_fault_ratio > 0.0:
                 faults = misses * epc_fault_ratio
                 self.charge("epc_fault", faults * p.epc_fault_cycles,
-                            int(faults))
+                            faults)
         else:
-            self.charge("llc_miss", misses * miss_cost, int(misses))
+            self.charge("llc_miss", misses * miss_cost, misses)
 
     def privagic_messages(self, n: int) -> None:
         self.charge("privagic_msg",
@@ -138,10 +164,11 @@ class CostMeter:
         self.charge("scone_syscall",
                     n * self.params.scone_syscall_cycles, n)
 
-    def compute(self, ops: float, cycles_per_op: float = None) -> None:
+    def compute(self, ops: float,
+                cycles_per_op: Optional[float] = None) -> None:
         per_op = (cycles_per_op if cycles_per_op is not None
                   else self.params.op_base_cycles)
-        self.charge("compute", ops * per_op, int(ops))
+        self.charge("compute", ops * per_op, ops)
 
     # -- results --------------------------------------------------------------------
 
@@ -163,4 +190,4 @@ class CostMeter:
     def reset(self) -> None:
         self.cycles = 0.0
         self.breakdown.clear()
-        self.counts.clear()
+        self._counts.clear()

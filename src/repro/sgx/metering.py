@@ -10,7 +10,8 @@ by tests and the metering ablation to cross-check the two levels.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional
 
 from repro.ir.interp import ExecutionContext, Machine, UNSAFE_REGION
 from repro.sgx.costmodel import CostMeter, CostParams, MACHINE_A
@@ -22,18 +23,30 @@ class MachineMeter:
     A crude one-slot-granularity cache model decides hits/misses: the
     most recently used ``resident_slots`` addresses are hits — enough
     to rank deployments on small IR-level runs without pretending to
-    be the analytic model of :mod:`repro.sgx.cache`.
+    be the analytic model of :mod:`repro.sgx.cache`.  The recency set
+    is an :class:`~collections.OrderedDict` used as a classic LRU
+    (``move_to_end`` on hit, ``popitem(last=False)`` to evict), so
+    every access is O(1) regardless of working-set size.
+
+    ``track_colors=True`` additionally tallies LLC hits/misses per
+    processor mode (``None``/untrusted vs enclave color) for the
+    per-color profiles of :mod:`repro.obs` — off by default to keep
+    the plain metering path lean.
     """
 
     def __init__(self, machine: Machine,
                  params: CostParams = MACHINE_A,
-                 resident_slots: int = 4096):
+                 resident_slots: int = 4096,
+                 track_colors: bool = False):
         self.machine = machine
         self.meter = CostMeter(params)
         self.resident_slots = resident_slots
-        self._lru: Dict[int, int] = {}
-        self._tick = 0
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
         self.accesses_by_region: Dict[str, int] = {}
+        self.track_colors = track_colors
+        #: color (or "U" for normal mode) -> [llc_hits, llc_misses];
+        #: populated only when ``track_colors`` is set.
+        self.traffic_by_color: Dict[str, List[int]] = {}
         machine.access_hooks.append(self._on_access)
 
     def detach(self) -> "MachineMeter":
@@ -47,15 +60,23 @@ class MachineMeter:
 
     def _on_access(self, ctx: ExecutionContext, addr: int, region: str,
                    rw: str) -> None:
-        self._tick += 1
         self.accesses_by_region[region] = \
             self.accesses_by_region.get(region, 0) + 1
-        hit = addr in self._lru
-        self._lru[addr] = self._tick
-        if len(self._lru) > self.resident_slots:
-            victim = min(self._lru, key=self._lru.get)
-            del self._lru[victim]
+        lru = self._lru
+        hit = addr in lru
+        if hit:
+            lru.move_to_end(addr)
+        else:
+            lru[addr] = None
+            if len(lru) > self.resident_slots:
+                lru.popitem(last=False)
         in_enclave = ctx.mode is not None
+        if self.track_colors:
+            color = ctx.mode if in_enclave else "U"
+            traffic = self.traffic_by_color.get(color)
+            if traffic is None:
+                traffic = self.traffic_by_color[color] = [0, 0]
+            traffic[0 if hit else 1] += 1
         self.meter.memory_accesses(1, 0.0 if hit else 1.0, in_enclave)
 
     def charge_runtime_messages(self, runtime) -> None:

@@ -1,0 +1,65 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.export import metrics_to_json, metrics_to_text
+
+
+def test_counter_and_gauge_basics():
+    reg = MetricsRegistry()
+    reg.inc("chunk.spawns[g$F@blue]")
+    reg.inc("chunk.spawns[g$F@blue]", 2)
+    reg.set("queue.depth", 7)
+    assert reg["chunk.spawns[g$F@blue]"].get() == 3
+    assert reg["queue.depth"].get() == 7
+    assert "queue.depth" in reg
+    assert "missing" not in reg
+
+
+def test_histogram_summary():
+    reg = MetricsRegistry()
+    for value in (1, 2, 3, 10):
+        reg.observe("burst.steps", value)
+    hist = reg["burst.steps"]
+    assert isinstance(hist, Histogram)
+    summary = hist.get()
+    assert summary["count"] == 4
+    assert summary["min"] == 1
+    assert summary["max"] == 10
+    assert summary["mean"] == pytest.approx(4.0)
+
+
+def test_type_mismatch_is_an_error():
+    reg = MetricsRegistry()
+    reg.inc("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.observe("x", 1)
+
+
+def test_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    a = reg.counter("a")
+    assert reg.counter("a") is a
+    assert isinstance(reg.gauge("g"), Gauge)
+    assert isinstance(reg.counter("c"), Counter)
+
+
+def test_as_dict_and_exports_round_trip():
+    reg = MetricsRegistry()
+    reg.inc("runtime.spawns", 3)
+    reg.set("cost.cycles", 123.456)
+    reg.observe("h", 2)
+    data = json.loads(metrics_to_json(reg))
+    assert data["runtime.spawns"] == 3
+    assert data["cost.cycles"] == pytest.approx(123.456)
+    assert data["h"]["count"] == 1
+    text = metrics_to_text(reg)
+    assert "runtime.spawns = 3" in text
+    # names come out sorted, one per line
+    lines = [l.split(" = ")[0] for l in text.splitlines()]
+    assert lines == sorted(lines)

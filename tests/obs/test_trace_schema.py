@@ -1,0 +1,126 @@
+"""The tracer-attached Fig 6/7 run must produce a loadable Chrome
+trace with every event family the ISSUE promises: step bursts, spawns,
+trampolines, channel push/pop with queue depths, and cost charges."""
+
+import json
+
+import pytest
+
+from repro.core.colors import RELAXED
+from repro.core.compiler import compile_and_partition
+from repro.obs import Observability, TraceFormatError, Tracer
+from repro.obs.export import (
+    trace_event_names,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+)
+from repro.runtime import run_partitioned
+
+FIG7_SOURCE = """
+    int unsafe_g = 0;
+    int color(blue) blue_g = 10;
+    int color(red) red_g = 0;
+
+    void g(int n) {
+        blue_g = n;
+        red_g = n;
+        printf("Hello\\n");
+    }
+
+    int f(int y) {
+        g(21);
+        return 42;
+    }
+
+    entry int main() {
+        unsafe_g = 1;
+        int x = f(blue_g);
+        return x;
+    }
+"""
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    program = compile_and_partition(FIG7_SOURCE, mode=RELAXED)
+    obs = Observability(trace=True, meter=True)
+    result, runtime = run_partitioned(program, "main",
+                                      observability=obs)
+    return result, runtime, obs
+
+
+def test_traced_run_still_computes(traced_run):
+    result, runtime, obs = traced_run
+    assert result == 42
+    assert runtime.machine.stdout == "Hello\n"
+
+
+def test_trace_file_is_valid_chrome_json(traced_run, tmp_path):
+    _, _, obs = traced_run
+    path = tmp_path / "trace.json"
+    obs.write_trace(str(path))
+    with open(path) as handle:
+        trace = json.load(handle)
+    assert validate_chrome_trace(trace) > 0
+    assert validate_chrome_trace_file(str(path)) == \
+        len(trace["traceEvents"])
+    assert trace["displayTimeUnit"] == "ms"
+
+
+def test_trace_contains_every_event_family(traced_run):
+    _, _, obs = traced_run
+    trace = obs.tracer.chrome_trace()
+    names = trace_event_names(trace)
+    assert "spawn" in names
+    assert "trampoline" in names
+    assert "push" in names
+    assert "pop" in names
+    assert "cost.cycles" in names
+    assert any(n.startswith("depth ") for n in names)
+    # step bursts are complete ("X") events with a step count
+    bursts = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert bursts and all(e["args"]["steps"] > 0 for e in bursts)
+    # every worker track got a thread_name metadata event
+    assert "thread_name" in names
+
+
+def test_detach_restores_fast_path(traced_run):
+    _, runtime, obs = traced_run
+    machine = runtime.machine
+    assert runtime.tracer is None
+    assert machine.tracer is None
+    assert not machine.access_hooks
+    for group in runtime._groups.values():
+        assert group.matrix.tracer is None
+        assert all(ch.tracer is None
+                   for ch in group.matrix.channels.values())
+    # the meter's observer is unwired too
+    assert obs.meter is not None
+    assert obs.meter.meter._observer is None
+
+
+def test_detached_tracer_records_nothing_new(traced_run):
+    _, _, obs = traced_run
+    before = len(obs.tracer)
+    program = compile_and_partition(FIG7_SOURCE, mode=RELAXED)
+    run_partitioned(program, "main")  # unobserved run
+    assert len(obs.tracer) == before
+
+
+def test_validator_rejects_malformed_events():
+    good = Tracer()
+    good.spawn("g$F@red", "blue", "red", 1)
+    trace = good.chrome_trace()
+    validate_chrome_trace(trace)
+
+    with pytest.raises(TraceFormatError):
+        validate_chrome_trace([])  # wrong root
+    with pytest.raises(TraceFormatError):
+        validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+    bad_phase = {"name": "x", "ph": "?", "pid": 1, "tid": 1, "ts": 0}
+    with pytest.raises(TraceFormatError):
+        validate_chrome_trace({"traceEvents": [bad_phase]})
+    bad_ts = {"name": "x", "ph": "i", "cat": "runtime",
+              "pid": 1, "tid": 1, "ts": -5}
+    with pytest.raises(TraceFormatError):
+        validate_chrome_trace({"traceEvents": [bad_ts]})

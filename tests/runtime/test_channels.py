@@ -143,7 +143,9 @@ def test_pop_kind_global_fifo_across_kinds():
 
 def test_message_stats_per_kind_counts():
     """Regression: message_stats() used to report all zeros (the
-    per-channel loop body was `pass`)."""
+    per-channel loop body was `pass`).  A spawn's inline F argument
+    counts as one extra ``value`` message — the protocol sends it as a
+    ``cont`` (Fig 7), so channel totals agree with RuntimeStats."""
     matrix = ChannelMatrix()
     ch = matrix.channel("blue", "S")
     ch.push(SpawnMessage("g$F@S", [21], None))
@@ -152,9 +154,9 @@ def test_message_stats_per_kind_counts():
     matrix.channel("S", "blue").push(Message("token"))
     stats = matrix.message_stats()
     assert stats["spawn"] == 1
-    assert stats["value"] == 2
+    assert stats["value"] == 3
     assert stats["token"] == 1
-    assert stats["total"] == 4
+    assert stats["total"] == 5
     # Draining the queues must not change what was *sent*.
     ch.pop("value")
     assert matrix.message_stats() == stats

@@ -1,0 +1,74 @@
+"""Trampoline protocol checks: a spawn whose payload does not match
+the chunk signature must fault loudly.
+
+Regression: the trampoline used to zero-pad missing F arguments and
+silently drop extras — a forged or corrupted spawn message (channels
+live in unsafe memory, §7.3.2) executed the chunk with attacker-chosen
+argument shapes instead of faulting."""
+
+import pytest
+
+from repro.core.colors import RELAXED
+from repro.core.compiler import compile_and_partition
+from repro.errors import RuntimeFault
+from repro.runtime import run_partitioned
+from repro.runtime.channel import SpawnMessage
+from repro.runtime.executor import PrivagicRuntime, WorkerGroup
+
+SOURCE = """
+    int color(blue) blue_g = 10;
+    int color(red) red_g = 0;
+
+    void g(int n) {
+        blue_g = n;
+        red_g = n;
+    }
+
+    int f(int y) {
+        g(21);
+        return 42;
+    }
+
+    entry int main() {
+        int x = f(blue_g);
+        return x;
+    }
+"""
+
+
+def _runtime_and_group():
+    program = compile_and_partition(SOURCE, mode=RELAXED)
+    runtime = PrivagicRuntime(program)
+    return runtime, WorkerGroup(runtime, 0)
+
+
+def test_missing_f_argument_faults():
+    runtime, group = _runtime_and_group()
+    # g$F@red takes one F argument; an empty payload must not be
+    # zero-padded into g(0).
+    message = SpawnMessage("g$F@red", [], None)
+    with pytest.raises(RuntimeFault, match="g\\$F@red.*0 F value"):
+        runtime._trampoline(group, message)
+
+
+def test_extra_f_arguments_fault():
+    runtime, group = _runtime_and_group()
+    message = SpawnMessage("g$F@red", [21, 99], None)
+    with pytest.raises(RuntimeFault, match="2 F value.*1 F slot"):
+        runtime._trampoline(group, message)
+
+
+def test_extra_args_for_zero_slot_chunk_fault():
+    runtime, group = _runtime_and_group()
+    # main$@blue has no F slots at all; smuggled values must fault,
+    # not be silently discarded.
+    message = SpawnMessage("main$@blue", [7], None)
+    with pytest.raises(RuntimeFault, match="main\\$@blue"):
+        runtime._trampoline(group, message)
+
+
+def test_well_formed_spawn_still_runs():
+    program = compile_and_partition(SOURCE, mode=RELAXED)
+    result, runtime = run_partitioned(program, "main")
+    assert result == 42
+    assert runtime.stats.trampoline_runs >= 2

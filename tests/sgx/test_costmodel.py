@@ -157,3 +157,57 @@ def test_fig8_shape_holds():
     big = CacheExperiment(32 * GIB // 1024, WORKLOAD_A)
     assert big.run("Privagic").throughput_ops / \
         big.run("Scone").throughput_ops >= 2.3
+
+
+def test_fractional_counts_accumulate():
+    """Regression: per-charge int() truncation lost fractional event
+    counts — 10 calls of 1 access at miss_ratio 0.3 reported 0 misses
+    and 10 hits.  Counts accumulate as floats and round at reporting."""
+    meter = CostMeter(MACHINE_A)
+    for _ in range(10):
+        meter.memory_accesses(1, miss_ratio=0.3, in_enclave=False)
+    assert meter.counts["llc_miss"] == 3
+    assert meter.counts["llc_hit"] == 7
+    # cycles were never truncated; the counts now match them
+    assert meter.breakdown["llc_miss"] == pytest.approx(
+        3 * MACHINE_A.llc_miss_cycles)
+
+
+def test_fractional_epc_faults_accumulate():
+    meter = CostMeter(MACHINE_A)
+    for _ in range(8):
+        meter.memory_accesses(1, miss_ratio=0.5, in_enclave=True,
+                              epc_fault_ratio=0.25)
+    assert meter.counts["llc_miss_enclave"] == 4
+    assert meter.counts["epc_fault"] == 1
+
+
+def test_compute_default_cycles_per_op():
+    meter = CostMeter(MACHINE_A)
+    meter.compute(2.5)
+    assert meter.cycles == pytest.approx(
+        2.5 * MACHINE_A.op_base_cycles)
+    meter.compute(1, cycles_per_op=10.0)
+    assert meter.counts["compute"] == 4  # round(3.5)
+
+
+def test_charge_observer_sees_every_charge():
+    seen = []
+    meter = CostMeter(MACHINE_A)
+    meter.set_observer(lambda kind, cycles, count:
+                       seen.append((kind, cycles, count)))
+    meter.privagic_messages(2)
+    meter.memory_accesses(4, miss_ratio=0.5, in_enclave=False)
+    assert [kind for kind, _, _ in seen] == \
+        ["privagic_msg", "llc_hit", "llc_miss"]
+    meter.set_observer(None)
+    meter.ecalls(1)
+    assert len(seen) == 3
+
+
+def test_reset_clears_float_counts():
+    meter = CostMeter(MACHINE_A)
+    meter.memory_accesses(10, miss_ratio=0.5, in_enclave=False)
+    meter.reset()
+    assert meter.counts == {}
+    assert meter.cycles == 0.0

@@ -77,3 +77,60 @@ def test_compile_error_is_reported(broken_file, capsys):
 
 def test_missing_file(capsys):
     assert main(["analyze", "/no/such/file.c"]) == 2
+
+
+FIG7 = """
+    int unsafe_g = 0;
+    int color(blue) blue_g = 10;
+    int color(red) red_g = 0;
+    void g(int n) { blue_g = n; red_g = n; }
+    int f(int y) { g(21); return 42; }
+    entry int main() { unsafe_g = 1; int x = f(blue_g); return x; }
+"""
+
+
+@pytest.fixture
+def fig7_file(tmp_path):
+    path = tmp_path / "fig7.c"
+    path.write_text(FIG7)
+    return str(path)
+
+
+def test_run_engine_flag(fig7_file, capsys):
+    for engine in ("decoded", "legacy"):
+        assert main(["run", "--mode", "relaxed", "--engine", engine,
+                     fig7_file]) == 0
+        assert "main() = 42" in capsys.readouterr().out
+
+
+def test_run_max_steps_exhaustion_is_an_error(fig7_file, capsys):
+    assert main(["run", "--mode", "relaxed", "--max-steps", "2",
+                 fig7_file]) == 1
+    assert "exceeded 2 steps" in capsys.readouterr().err
+
+
+def test_run_trace_writes_valid_chrome_json(fig7_file, tmp_path,
+                                            capsys):
+    from repro.obs.export import validate_chrome_trace_file
+
+    trace_path = tmp_path / "trace.json"
+    assert main(["run", "--mode", "relaxed", fig7_file,
+                 "--trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"trace: wrote {trace_path}" in out
+    assert validate_chrome_trace_file(str(trace_path)) > 0
+
+
+def test_run_stats_prints_metrics(fig7_file, capsys):
+    assert main(["run", "--mode", "relaxed", "--stats",
+                 fig7_file]) == 0
+    out = capsys.readouterr().out
+    assert "messages:" in out  # the classic line survives
+    assert "runtime.spawns = " in out
+    assert "channel.total = " in out
+    assert "interp.steps = " in out
+
+
+def test_run_rejects_unknown_engine(fig7_file, capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "--engine", "turbo", fig7_file])
