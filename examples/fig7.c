@@ -16,9 +16,16 @@ void g(int n) {
     printf("Hello\n");
 }
 
+// The constant budget and the always-taken guard fold away under
+// the default pipeline (constfold + simplify-cfg + dce); without
+// those passes the mul/cmp/br survive into f's chunk and cost
+// interpreter steps every run.
 int f(int y) {
-    g(21);
-    return 42;
+    int budget = 6 * 7;
+    if (budget > 0) {
+        g(21);
+    }
+    return budget;
 }
 
 entry int main() {

@@ -26,3 +26,15 @@ python -c "import sys; \
     n = validate_chrome_trace_file(sys.argv[1]); \
     print(f'cli smoke: trace OK ({n} events)')" "$TRACE_OUT"
 rm -f "$TRACE_OUT"
+
+# Pass-pipeline smoke: run an explicit optimization pipeline with the
+# inspection flags, and check the per-pass metrics reach --stats.
+REPRO_VERIFY_EACH_PASS=1 python -m repro compile examples/fig7.c \
+    --mode relaxed \
+    --passes 'mem2reg,constfold,simplify-cfg,dce' \
+    --print-after-each --time-passes --stats > /tmp/repro-pipeline.out \
+    2> /dev/null
+grep -q "pipeline.pass.seconds\[mem2reg\]" /tmp/repro-pipeline.out
+grep -q "pipeline.pass.runs\[dce\]" /tmp/repro-pipeline.out
+echo "cli smoke: pass pipeline OK (per-pass metrics present)"
+rm -f /tmp/repro-pipeline.out

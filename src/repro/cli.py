@@ -13,6 +13,10 @@ Commands mirror the Privagic toolchain of Figure 5:
 ``run``
     Compile, partition and execute an entry point on the simulated
     SGX machine, reporting the result and the message traffic.
+
+All three drive the :mod:`repro.pipeline` pass manager and accept
+``--passes PIPELINE`` (comma-separated pass names),
+``--print-after-each`` and ``--time-passes``.
 """
 
 from __future__ import annotations
@@ -22,13 +26,13 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.core.analysis import analyze_module
 from repro.core.colors import HARDENED, RELAXED
 from repro.core.compiler import PrivagicCompiler
 from repro.errors import PrivagicError
 from repro.frontend import compile_source
 from repro.ir.interp import ENGINES
 from repro.ir.printer import print_module
+from repro.pipeline import ANALYZE_PIPELINE, PassManager
 
 
 def _read(path: str) -> str:
@@ -41,6 +45,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--mode", choices=[HARDENED, RELAXED],
                         default=HARDENED,
                         help="analysis mode (default: hardened)")
+    parser.add_argument("--passes", metavar="PIPELINE", default=None,
+                        help="comma-separated pass pipeline (default: "
+                             "the full Figure-5 pipeline)")
+    parser.add_argument("--print-after-each", action="store_true",
+                        help="print the IR after every pass (stderr)")
+    parser.add_argument("--time-passes", action="store_true",
+                        help="print a per-pass wall-time table (stderr)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(compile_cmd)
     compile_cmd.add_argument("-o", "--output",
                              help="directory for per-partition .ir files")
+    compile_cmd.add_argument("--stats", action="store_true",
+                             help="print the compilation metrics "
+                                  "(per-pass timings, cache hits)")
 
     run = sub.add_parser("run", help="compile and execute")
     _add_common(run)
@@ -79,10 +93,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _compiler_for(options, **kwargs) -> PrivagicCompiler:
+    return PrivagicCompiler(
+        mode=options.mode, passes=options.passes,
+        time_passes=options.time_passes,
+        print_after_each=options.print_after_each, **kwargs)
+
+
 def cmd_analyze(options) -> int:
     module = compile_source(_read(options.file),
                             os.path.basename(options.file))
-    result = analyze_module(module, options.mode, check=False)
+    manager = PassManager(options.passes or ANALYZE_PIPELINE,
+                          time_passes=options.time_passes,
+                          print_after_each=options.print_after_each)
+    ctx = manager.run(module, mode=options.mode)
+    result = ctx.analysis
+    if result is None:
+        print("pipeline ran no 'secure-types' pass; nothing to report",
+              file=sys.stderr)
+        return 1
     if result.errors:
         for error in result.errors:
             print(f"error: {error}", file=sys.stderr)
@@ -97,21 +126,37 @@ def cmd_analyze(options) -> int:
 
 
 def cmd_compile(options) -> int:
-    compiler = PrivagicCompiler(mode=options.mode)
+    compiler = _compiler_for(options)
     program = compiler.compile_source(_read(options.file),
                                       os.path.basename(options.file))
-    for color in program.colors:
-        module = program.modules[color]
-        text = print_module(module)
+    if program is not None:
+        for color in program.colors:
+            module = program.modules[color]
+            text = print_module(module)
+            if options.output:
+                os.makedirs(options.output, exist_ok=True)
+                path = os.path.join(options.output, f"{color}.ir")
+                with open(path, "w") as handle:
+                    handle.write(text)
+                print(f"wrote {path} "
+                      f"({module.instruction_count()} instructions)")
+            else:
+                print(text)
+    else:
+        # The pipeline stopped before partitioning: emit the
+        # (optimized) single module instead.
+        text = print_module(compiler.context.module)
         if options.output:
             os.makedirs(options.output, exist_ok=True)
-            path = os.path.join(options.output, f"{color}.ir")
+            path = os.path.join(options.output, "module.ir")
             with open(path, "w") as handle:
                 handle.write(text)
-            print(f"wrote {path} "
-                  f"({module.instruction_count()} instructions)")
+            print(f"wrote {path}")
         else:
             print(text)
+    if options.stats:
+        from repro.obs.export import metrics_to_text
+        print(metrics_to_text(compiler.context.metrics))
     return 0
 
 
@@ -119,18 +164,27 @@ def cmd_run(options) -> int:
     from repro.runtime import PrivagicRuntime
     from repro.sgx import SGXAccessPolicy
 
-    compiler = PrivagicCompiler(mode=options.mode)
+    obs = None
+    metrics = tracer = None
+    if options.trace or options.stats:
+        from repro.obs import Observability
+        obs = Observability(trace=options.trace is not None)
+        # Compile through the same registry/tracer so the pipeline's
+        # per-pass metrics and spans land next to the runtime's.
+        metrics, tracer = obs.registry, obs.tracer
+    compiler = _compiler_for(options, metrics=metrics, tracer=tracer)
     program = compiler.compile_source(_read(options.file),
                                       os.path.basename(options.file))
+    if program is None:
+        raise PrivagicError(
+            "the pass pipeline did not produce a partitioned program "
+            "(add 'partition' to --passes)")
     kwargs = {}
     if options.max_steps is not None:
         kwargs["max_steps"] = options.max_steps
     runtime = PrivagicRuntime(program, engine=options.engine, **kwargs)
     SGXAccessPolicy().attach(runtime.machine)
-    obs = None
-    if options.trace or options.stats:
-        from repro.obs import Observability
-        obs = Observability(trace=options.trace is not None)
+    if obs is not None:
         obs.attach(runtime)
     try:
         result = runtime.run(options.entry, options.args)

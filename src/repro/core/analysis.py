@@ -58,7 +58,7 @@ from repro.core.colors import (
     is_untrusted,
     untrusted_color,
 )
-from repro.ir.cfg import DominatorTree, blocks_influenced_by, reachable_blocks
+from repro.ir.cfg import blocks_influenced_by
 from repro.ir.instructions import (
     Alloca,
     BinOp,
@@ -261,11 +261,15 @@ class AnalysisResult:
 class _Analyzer:
     """Runs the stabilizing algorithm over one module."""
 
-    def __init__(self, module: Module, mode: str):
+    def __init__(self, module: Module, mode: str, cache=None):
         if mode not in (HARDENED, RELAXED):
             raise ValueError(f"unknown mode {mode!r}")
         self.module = module
         self.mode = mode
+        if cache is None:
+            from repro.pipeline.analyses import AnalysisCache
+            cache = AnalysisCache()
+        self.cache = cache
         self.result = AnalysisResult(module, mode)
         self.changed = False
         self._error_keys: Set[tuple] = set()
@@ -280,8 +284,9 @@ class _Analyzer:
         if key in self._error_keys:
             return
         self._error_keys.add(key)
+        loc = getattr(instr, "loc", None)
         self.result.errors.append(
-            SecureTypeError(rule, message, text, colors))
+            SecureTypeError(rule, message, text, colors, loc=loc))
 
     # -- color primitives -------------------------------------------------------
 
@@ -370,7 +375,7 @@ class _Analyzer:
 
     def run(self, entries: Optional[Sequence[str]] = None,
             max_passes: int = 60) -> AnalysisResult:
-        mem2reg(self.module)
+        mem2reg(self.module, cache=self.cache)
         entry_fns = ([self.module.get_function(n) for n in entries]
                      if entries else self.module.entry_points())
         templates = {f.name for f in self.module.functions.values()}
@@ -434,7 +439,11 @@ class _Analyzer:
         fn = fa.fn
         if not fn.blocks:
             return
-        pdt = DominatorTree(fn, post=True)
+        # The analysis never mutates the CFG, so the cached tree is
+        # valid across every stabilization pass — this was the hottest
+        # rebuild in the whole compile path (one tree per function per
+        # local-fixpoint iteration).
+        pdt = self.cache.postdominators(fn)
         for block in fn.blocks:
             term = block.terminator
             if not isinstance(term, Branch):
@@ -761,16 +770,18 @@ class _Analyzer:
 
 def analyze_module(module: Module, mode: str = HARDENED,
                    entries: Optional[Sequence[str]] = None,
-                   check: bool = True) -> AnalysisResult:
+                   check: bool = True, cache=None) -> AnalysisResult:
     """Run the full Privagic type analysis on ``module``.
 
     The module is mutated: ``mem2reg`` is applied and specialized
     function versions are added.  With ``check=True`` (default) the
     first :class:`SecureTypeError` is raised; with ``check=False`` the
-    errors are collected on the result for inspection.
+    errors are collected on the result for inspection.  ``cache``
+    optionally shares an :class:`~repro.pipeline.analyses.AnalysisCache`
+    with the surrounding pipeline.
     """
     _scan_address_taken(module)
-    result = _Analyzer(module, mode).run(entries)
+    result = _Analyzer(module, mode, cache=cache).run(entries)
     if check:
         result.check()
     return result

@@ -1,10 +1,12 @@
 """The Privagic compiler driver (paper Figure 5).
 
-Pipeline::
+Pipeline (all stages are named passes scheduled by the
+:class:`~repro.pipeline.manager.PassManager`)::
 
     MiniC source ──(frontend)──► IR module with secure types
         │
         ├─ mem2reg                         (§5.1)
+        ├─ simplify-cfg / constfold / dce  (pre-analysis cleanup)
         ├─ multi-color struct rewriting    (§7.2, relaxed mode only)
         ├─ secure type analysis            (§6, stabilizing §5.2)
         └─ partitioning                    (§7)
@@ -17,12 +19,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.analysis import AnalysisResult, analyze_module
+from repro.core.analysis import AnalysisResult
 from repro.core.colors import HARDENED, RELAXED
-from repro.core.partition import PartitionedProgram, partition
-from repro.core.structs import rewrite_multicolor_structs
+from repro.core.partition import PartitionedProgram
 from repro.ir.module import Module
-from repro.ir.passes import mem2reg
+from repro.pipeline import CompilationContext, PassManager
 
 
 class PrivagicCompiler:
@@ -38,26 +39,59 @@ class PrivagicCompiler:
     sync_barriers:
         Generate the §7.3.3 synchronization barriers around visible
         effects (on by default).
+    passes:
+        Pipeline override (comma-separated names or pass instances);
+        defaults to the Figure-5 pipeline
+        (:data:`repro.pipeline.DEFAULT_PIPELINE`).
+    metrics / tracer:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` and
+        :class:`~repro.obs.tracer.Tracer` the per-pass statistics are
+        published into (shared with the runtime's observability when
+        compiling via the CLI).
+    verify_each / time_passes / print_after_each:
+        Forwarded to the :class:`~repro.pipeline.manager.PassManager`.
     """
 
-    def __init__(self, mode: str = HARDENED, sync_barriers: bool = True):
+    def __init__(self, mode: str = HARDENED, sync_barriers: bool = True,
+                 passes=None, verify_each: Optional[bool] = None,
+                 time_passes: bool = False,
+                 print_after_each: bool = False,
+                 metrics=None, tracer=None):
         self.mode = mode
         self.sync_barriers = sync_barriers
+        self.passes = passes
+        self.verify_each = verify_each
+        self.time_passes = time_passes
+        self.print_after_each = print_after_each
+        self.metrics = metrics
+        self.tracer = tracer
         self.analysis: Optional[AnalysisResult] = None
+        #: The full pipeline context of the last compilation.
+        self.context: Optional[CompilationContext] = None
 
     def compile_module(self, module: Module,
                        entries: Optional[Sequence[str]] = None
-                       ) -> PartitionedProgram:
-        """Analyze and partition ``module`` (mutates it)."""
-        mem2reg(module)
-        rewrite_multicolor_structs(module, self.mode)
-        self.analysis = analyze_module(module, self.mode,
-                                       entries=entries)
-        return partition(self.analysis, self.sync_barriers)
+                       ) -> Optional[PartitionedProgram]:
+        """Run the pass pipeline over ``module`` (mutates it).
+
+        Returns the partitioned program, or None when a custom
+        pipeline stops before the ``partition`` pass (the optimized
+        module is then available as ``self.context.module``).
+        """
+        manager = PassManager(self.passes, verify_each=self.verify_each,
+                              time_passes=self.time_passes,
+                              print_after_each=self.print_after_each)
+        self.context = manager.run(module, mode=self.mode,
+                                   entries=entries,
+                                   sync_barriers=self.sync_barriers,
+                                   metrics=self.metrics,
+                                   tracer=self.tracer)
+        self.analysis = self.context.analysis
+        return self.context.program
 
     def compile_source(self, source: str, module_name: str = "app",
                        entries: Optional[Sequence[str]] = None
-                       ) -> PartitionedProgram:
+                       ) -> Optional[PartitionedProgram]:
         """Compile MiniC source end to end."""
         from repro.frontend import compile_source as frontend_compile
         module = frontend_compile(source, module_name)
@@ -66,8 +100,8 @@ class PrivagicCompiler:
 
 def compile_and_partition(source: str, mode: str = HARDENED,
                           entries: Optional[Sequence[str]] = None,
-                          sync_barriers: bool = True
-                          ) -> PartitionedProgram:
+                          sync_barriers: bool = True,
+                          passes=None) -> PartitionedProgram:
     """One-call convenience used by examples and tests."""
-    compiler = PrivagicCompiler(mode, sync_barriers)
+    compiler = PrivagicCompiler(mode, sync_barriers, passes=passes)
     return compiler.compile_source(source, entries=entries)

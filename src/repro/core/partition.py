@@ -199,8 +199,13 @@ class Partitioner:
     """Rewrites an analyzed module into per-color partitions."""
 
     def __init__(self, analysis: AnalysisResult,
-                 sync_barriers: bool = True, dce: bool = True):
+                 sync_barriers: bool = True, dce: bool = True,
+                 cache=None):
         self.analysis = analysis
+        if cache is None:
+            from repro.pipeline.analyses import AnalysisCache
+            cache = AnalysisCache()
+        self.cache = cache
         self.mode = analysis.mode
         self.untrusted = analysis.untrusted
         self.sync_barriers = sync_barriers
@@ -508,7 +513,10 @@ class Partitioner:
         name = chunk_name(spec.name, chunk)
         clone, value_map, block_map = clone_function(
             spec, name, return_maps=True)
-        pdt = DominatorTree(spec, post=True)
+        # The spec template is read-only here; when the cache is shared
+        # with the analysis phase this tree was already computed for
+        # Rule 4, and it is reused for every chunk of the same spec.
+        pdt = self.cache.postdominators(spec)
 
         # 1. Prune control flow: branches on foreign-colored conditions
         # become jumps to their join point (Rule 4 payoff).
@@ -942,7 +950,7 @@ def dead_code_elimination_chunks(module: Module) -> int:
 
 
 def partition(analysis: AnalysisResult, sync_barriers: bool = True,
-              dce: bool = True) -> PartitionedProgram:
+              dce: bool = True, cache=None) -> PartitionedProgram:
     """Partition an analyzed module (paper §7)."""
     analysis.check()
-    return Partitioner(analysis, sync_barriers, dce).run()
+    return Partitioner(analysis, sync_barriers, dce, cache=cache).run()

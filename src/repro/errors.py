@@ -41,16 +41,22 @@ class SecureTypeError(PrivagicError):
         Textual rendering of the offending IR instruction, if any.
     colors:
         The incompatible colors involved in the violation.
+    loc:
+        Source position ``(line, column)`` of the offending MiniC
+        construct, when the instruction carries one.
     """
 
     def __init__(self, rule: str, message: str, instruction: str = "",
-                 colors: tuple = ()):
+                 colors: tuple = (), loc=None):
         self.rule = rule
         self.instruction = instruction
         self.colors = tuple(colors)
+        self.loc = tuple(loc) if loc else None
         detail = f"[{rule}] {message}"
         if instruction:
             detail += f" (at: {instruction})"
+        if self.loc:
+            detail += f" (source line {self.loc[0]}:{self.loc[1]})"
         super().__init__(detail)
 
 

@@ -71,6 +71,13 @@ _BUILTIN_SIGNATURES: Dict[str, FunctionType] = {
 }
 
 
+def _loc_of(node):
+    """``(line, column)`` of an AST node, or None for synthesized
+    nodes (position 0)."""
+    line = getattr(node, "line", 0)
+    return (line, getattr(node, "column", 0)) if line else None
+
+
 class _Scope:
     """Lexical scope mapping names to lvalue pointers."""
 
@@ -142,7 +149,7 @@ class CodeGenerator:
             if expr.color is not None:
                 # Color the whole record: color every field (used for
                 # single-color data structures, paper §9.3).
-                ir_type = self._colored_struct(ir_type, expr.color)
+                ir_type = self._colored_struct(ir_type, expr.color, expr)
         else:
             try:
                 ir_type = _BASE_TYPES[base]
@@ -160,26 +167,30 @@ class CodeGenerator:
             ir_type = ArrayType(ir_type, expr.array_size)
         return ir_type
 
-    def _colored_struct(self, struct: StructType, color: str) -> StructType:
+    def _colored_struct(self, struct: StructType, color: str,
+                        node=None) -> StructType:
         name = f"{struct.name}.{color}"
         if name in self.module.structs:
             return self.module.structs[name]
         colored = StructType(name)
         self.module.add_struct(colored)
         colored.set_body([
-            StructField(f.name, self._color_field_type(f.type, color))
+            StructField(f.name, self._color_field_type(f.type, color,
+                                                       node))
             for f in struct.fields])
         return colored
 
-    def _color_field_type(self, type: IRType, color: str) -> IRType:
+    def _color_field_type(self, type: IRType, color: str,
+                          node=None) -> IRType:
         if isinstance(type, PointerType):
-            return PointerType(self._color_field_type(type.pointee, color))
+            return PointerType(self._color_field_type(type.pointee, color,
+                                                      node))
         if isinstance(type, StructType):
-            return self._colored_struct(type, color)
+            return self._colored_struct(type, color, node)
         if type.color is not None and type.color != color:
             raise SecureTypeError(
                 "union", f"field already colored {type.color}, cannot "
-                         f"recolor {color}")
+                         f"recolor {color}", loc=_loc_of(node))
         return type.with_color(color)
 
     # -- records ----------------------------------------------------------------------
@@ -195,7 +206,8 @@ class CodeGenerator:
                 # union with differently colored fields is rejected.
                 raise SecureTypeError(
                     "union",
-                    f"union {decl.name} mixes colors {sorted(colors)}")
+                    f"union {decl.name} mixes colors {sorted(colors)}",
+                    loc=_loc_of(decl))
         self.module.structs[decl.name].set_body(fields)
 
     # -- globals -----------------------------------------------------------------------
@@ -291,6 +303,7 @@ class CodeGenerator:
         self.scope = self.scope.parent
 
     def _gen_statement(self, stmt: ast.Stmt) -> None:
+        self.builder.set_loc(stmt)
         if isinstance(stmt, ast.Block):
             self._gen_block(stmt)
         elif isinstance(stmt, ast.VarDecl):
@@ -445,6 +458,7 @@ class CodeGenerator:
     # -- expressions: lvalues ------------------------------------------------------------------
 
     def _gen_lvalue(self, expr: ast.Expr):
+        self.builder.set_loc(expr)
         if isinstance(expr, ast.Identifier):
             slot = self.scope.lookup(expr.name)
             if slot is not None:
@@ -492,6 +506,7 @@ class CodeGenerator:
     # -- expressions: rvalues --------------------------------------------------------------------
 
     def _gen_rvalue(self, expr: ast.Expr):
+        self.builder.set_loc(expr)
         if isinstance(expr, ast.IntLiteral):
             return self.builder.const_int(expr.value,
                                           I64 if expr.value > 2**31 else I32)

@@ -2,23 +2,26 @@
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.frontend.codegen import CodeGenerator
 from repro.frontend.parser import parse
-from repro.ir import Module, verify_module
+from repro.ir import Module
 
 
 def compile_source(source: str, module_name: str = "minic",
-                   verify: bool = True) -> Module:
+                   verify: bool = True, passes=None) -> Module:
     """Compile MiniC source text into an IR module.
 
     This is the classical toolchain of paper Figure 5: it produces the
     "LLVM bitcode" Privagic takes as input, with secure-type colors
-    carried as type annotations.
+    carried as type annotations.  The generated module is run through
+    the frontend pass pipeline (structural verification by default;
+    ``passes`` overrides it, ``verify=False`` skips it).
     """
     unit = parse(source, module_name)
     module = CodeGenerator(module_name).generate(unit)
-    if verify:
-        verify_module(module)
+    from repro.pipeline import FRONTEND_PIPELINE, PassManager
+    pipeline = passes if passes is not None else (
+        FRONTEND_PIPELINE if verify else ())
+    if pipeline:
+        PassManager(pipeline).run(module)
     return module

@@ -36,9 +36,21 @@ class IRBuilder:
 
     def __init__(self, block: Optional[BasicBlock] = None):
         self.block = block
+        #: Current source position ``(line, column)``; stamped onto
+        #: every inserted instruction so diagnostics can point back at
+        #: the MiniC source.
+        self.loc = None
 
     def position_at_end(self, block: BasicBlock) -> None:
         self.block = block
+
+    def set_loc(self, node) -> None:
+        """Track the source position of ``node`` (anything with
+        ``line``/``column`` attributes, e.g. an AST node or a token);
+        positions of 0 (synthesized nodes) are ignored."""
+        line = getattr(node, "line", 0)
+        if line:
+            self.loc = (line, getattr(node, "column", 0))
 
     @property
     def function(self) -> Function:
@@ -51,6 +63,8 @@ class IRBuilder:
             raise IRError("builder has no insertion point")
         if instr.name == "" and not instr.is_void:
             instr.name = self.function.next_value_name()
+        if instr.loc is None:
+            instr.loc = self.loc
         return self.block.append(instr)
 
     # -- constants -------------------------------------------------------------
@@ -150,6 +164,7 @@ class IRBuilder:
         if self.block is None:
             raise IRError("builder has no insertion point")
         node = Phi(type, name or self.function.next_value_name("phi"))
+        node.loc = self.loc
         self.block.insert(self.block.first_non_phi_index(), node)
         node.parent = self.block
         return node

@@ -65,6 +65,11 @@ class Instruction(Value):
         super().__init__(type, name)
         self.operands: List[Value] = []
         self.parent = None  # owning BasicBlock, set on insertion
+        #: Source position ``(line, column)`` of the MiniC construct
+        #: this instruction was lowered from, or None for synthesized
+        #: code.  Carried through cloning so diagnostics on specialized
+        #: functions still point at the original source.
+        self.loc: Optional[Tuple[int, int]] = None
         for op in operands:
             self._append_operand(op)
 
@@ -381,6 +386,15 @@ class Phi(Instruction):
             if b is block:
                 return value
         raise IRError(f"phi {self.short()} has no incoming for {block}")
+
+    def remove_incoming(self, block) -> None:
+        """Drop every incoming entry arriving from ``block`` (used when
+        a CFG edge is deleted)."""
+        keep = [(v, b) for v, b in self.incomings if b is not block]
+        self.drop_operands()
+        self.incoming_blocks = []
+        for value, b in keep:
+            self.add_incoming(value, b)
 
 
 class Cast(Instruction):

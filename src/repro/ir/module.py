@@ -304,6 +304,7 @@ def clone_function(fn: Function, new_name: str,
         for instr in block.instructions:
             new_instr = _clone_instruction(instr, mapped, block_map,
                                            pending_phis)
+            new_instr.loc = instr.loc
             value_map[instr] = new_instr
             new_block.instructions.append(new_instr)
             new_instr.parent = new_block

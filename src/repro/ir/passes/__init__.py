@@ -6,9 +6,19 @@
 * :func:`repro.ir.passes.dce.dead_code_elimination` — remove
   side-effect-free instructions with no users (paper §7.3.1: cleans up
   uselessly replicated F instructions in chunks).
+* :func:`repro.ir.passes.simplifycfg.simplify_cfg` — fold trivial
+  branches, delete unreachable blocks, merge jump chains.
+* :func:`repro.ir.passes.constfold.constant_fold` — evaluate
+  constant-operand arithmetic/comparisons at compile time.
+
+The :mod:`repro.pipeline` pass manager schedules these by name;
+calling them directly remains supported for tests and tools.
 """
 
-from repro.ir.passes.mem2reg import mem2reg, promotable_allocas
+from repro.ir.passes.constfold import constant_fold
 from repro.ir.passes.dce import dead_code_elimination
+from repro.ir.passes.mem2reg import mem2reg, promotable_allocas
+from repro.ir.passes.simplifycfg import simplify_cfg
 
-__all__ = ["mem2reg", "promotable_allocas", "dead_code_elimination"]
+__all__ = ["mem2reg", "promotable_allocas", "dead_code_elimination",
+           "simplify_cfg", "constant_fold"]

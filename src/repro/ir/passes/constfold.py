@@ -1,0 +1,79 @@
+"""Constant folding.
+
+Evaluates arithmetic, comparison, select and numeric-cast instructions
+whose operands are all constants, replacing their uses with the
+computed constant.  The evaluation reuses the interpreter's own
+helpers so a folded value is bit-for-bit what the runtime would have
+produced (same wrapping, same truncated division).
+
+Folding is deliberately conservative about faults: a division or
+remainder by a constant zero is left in place so the runtime fault
+still fires at the original program point.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import BinOp, Cast, Cmp, Select
+from repro.ir.interp import _apply_binop, _apply_cast, _apply_cmp
+from repro.ir.module import Function, Module
+from repro.ir.values import Constant
+
+#: Cast kinds safe to fold on numeric constants (pointer-ish casts
+#: keep their provenance for the memory model).
+_FOLDABLE_CASTS = frozenset({"trunc", "zext", "sext", "sitofp", "fptosi"})
+
+
+def constant_fold(target) -> int:
+    """Fold constant operations; returns how many were folded.
+
+    Accepts a :class:`Function` or a whole :class:`Module`.
+    """
+    if isinstance(target, Module):
+        return sum(constant_fold(f) for f in target.defined_functions())
+    return _fold_function(target)
+
+
+def _fold_function(fn: Function) -> int:
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            for instr in list(block.instructions):
+                replacement = _try_fold(instr)
+                if replacement is not None:
+                    instr.replace_all_uses_with(replacement)
+                    instr.erase()
+                    folded += 1
+                    changed = True
+    return folded
+
+
+def _try_fold(instr):
+    if isinstance(instr, BinOp):
+        lhs, rhs = instr.lhs, instr.rhs
+        if not (isinstance(lhs, Constant) and isinstance(rhs, Constant)):
+            return None
+        if instr.op in ("sdiv", "udiv", "srem", "urem", "fdiv") and \
+                not rhs.value:
+            return None  # preserve the runtime fault
+        return Constant(instr.type, _apply_binop(instr, lhs.value,
+                                                 rhs.value))
+    if isinstance(instr, Cmp):
+        lhs, rhs = instr.lhs, instr.rhs
+        if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+            return Constant(instr.type,
+                            _apply_cmp(instr.predicate, lhs.value,
+                                       rhs.value))
+        return None
+    if isinstance(instr, Select):
+        if isinstance(instr.cond, Constant):
+            return instr.true_value if instr.cond.value \
+                else instr.false_value
+        return None
+    if isinstance(instr, Cast) and instr.kind in _FOLDABLE_CASTS:
+        value = instr.value
+        if isinstance(value, Constant) and isinstance(
+                value.value, (int, float)):
+            return Constant(instr.type, _apply_cast(instr, value.value))
+    return None

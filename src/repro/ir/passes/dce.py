@@ -25,8 +25,12 @@ def _dce_function(fn: Function) -> int:
     changed = True
     while changed:
         changed = False
+        # Sweep each block bottom-up so a dead chain (a feeds b feeds
+        # c, only c initially dead) dies in one iteration; the outer
+        # fixpoint loop still catches cross-block chains and phi
+        # cycles.
         for block in fn.blocks:
-            for instr in list(block.instructions):
+            for instr in reversed(list(block.instructions)):
                 if instr.has_side_effects:
                     continue
                 # A phi may be its own (indirect) only user in a loop;

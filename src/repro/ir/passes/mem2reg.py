@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from repro.ir.cfg import DominatorTree, reachable_blocks
+from repro.ir.cfg import DominatorTree
 from repro.ir.instructions import Alloca, Instruction, Load, Phi, Store
 from repro.ir.module import BasicBlock, Function, Module
 from repro.ir.values import UndefValue, Value
@@ -52,23 +52,30 @@ def promotable_allocas(fn: Function) -> List[Alloca]:
     return result
 
 
-def mem2reg(target) -> int:
+def mem2reg(target, cache=None) -> int:
     """Promote all promotable allocas; returns how many were promoted.
 
-    Accepts a :class:`Function` or a whole :class:`Module`.
+    Accepts a :class:`Function` or a whole :class:`Module`.  ``cache``
+    is an optional :class:`~repro.pipeline.analyses.AnalysisCache`
+    supplying the dominator tree; promotion preserves the CFG, so a
+    shared cache stays valid across this pass.
     """
     if isinstance(target, Module):
-        return sum(mem2reg(f) for f in target.defined_functions())
-    return _promote_function(target)
+        return sum(mem2reg(f, cache=cache)
+                   for f in target.defined_functions())
+    return _promote_function(target, cache)
 
 
-def _promote_function(fn: Function) -> int:
+def _promote_function(fn: Function, cache=None) -> int:
     allocas = promotable_allocas(fn)
     if not allocas:
         return 0
-    reachable = reachable_blocks(fn)
-    dt = DominatorTree(fn)
-    frontier = dt.frontier()
+    if cache is None:
+        from repro.pipeline.analyses import AnalysisCache
+        cache = AnalysisCache()
+    reachable = cache.reachable(fn)
+    dt = cache.dominators(fn)
+    frontier = cache.frontier(fn)
 
     for alloca in allocas:
         _promote_one(fn, alloca, dt, frontier, reachable)

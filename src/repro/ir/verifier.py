@@ -2,7 +2,9 @@
 
 Checks the invariants every pass and analysis assumes:
 
-* every reachable block ends with exactly one terminator;
+* every block (reachable or not) ends with exactly one terminator;
+* branch targets and phi incoming blocks belong to the function (no
+  dangling references to erased blocks);
 * instruction results are defined before use (SSA dominance);
 * phi nodes have one incoming per predecessor and sit at block start;
 * operand/user links are consistent;
@@ -11,10 +13,9 @@ Checks the invariants every pass and analysis assumes:
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List, Optional, Set
 
 from repro.errors import IRError
-from repro.ir.cfg import DominatorTree, reachable_blocks
 from repro.ir.instructions import Instruction, Load, Phi, Store
 from repro.ir.module import BasicBlock, Function, Module
 from repro.ir.printer import print_instruction
@@ -22,21 +23,29 @@ from repro.ir.types import PointerType
 from repro.ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
 
 
-def verify_module(module: Module) -> None:
+def verify_module(module: Module, cache=None) -> None:
     """Raise :class:`IRError` on the first malformed function."""
     for fn in module.functions.values():
         if not fn.is_declaration:
-            verify_function(fn)
+            verify_function(fn, cache=cache)
 
 
-def verify_function(fn: Function) -> None:
+def verify_function(fn: Function, cache=None) -> None:
+    """Verify one function.  ``cache`` optionally supplies the
+    dominator tree (a fresh throwaway cache is used otherwise, so the
+    verifier never trusts analyses a buggy pass failed to
+    invalidate)."""
     if not fn.blocks:
         return
-    reachable = reachable_blocks(fn)
-    _check_terminators(fn, reachable)
-    _check_phis(fn, reachable)
+    if cache is None:
+        from repro.pipeline.analyses import AnalysisCache
+        cache = AnalysisCache()
+    reachable = cache.reachable(fn)
+    members = set(fn.blocks)
+    _check_terminators(fn, members)
+    _check_phis(fn, reachable, members)
     _check_links(fn)
-    _check_dominance(fn, reachable)
+    _check_dominance(fn, reachable, cache)
 
 
 def _fail(fn: Function, message: str, instr: Instruction = None) -> None:
@@ -44,10 +53,8 @@ def _fail(fn: Function, message: str, instr: Instruction = None) -> None:
     raise IRError(f"verifier: @{fn.name}: {message}{at}")
 
 
-def _check_terminators(fn: Function, reachable: Set[BasicBlock]) -> None:
+def _check_terminators(fn: Function, members: Set[BasicBlock]) -> None:
     for block in fn.blocks:
-        if block not in reachable:
-            continue
         if block.terminator is None:
             _fail(fn, f"block {block.name} has no terminator")
         for instr in block.instructions[:-1]:
@@ -55,12 +62,14 @@ def _check_terminators(fn: Function, reachable: Set[BasicBlock]) -> None:
                 _fail(fn, f"terminator in the middle of block {block.name}",
                       instr)
         for target in block.successors:
-            if target.parent is not fn:
-                _fail(fn, f"block {block.name} branches to a block of "
-                          f"another function")
+            if target.parent is not fn or target not in members:
+                _fail(fn, f"block {block.name} branches to a block not "
+                          f"in the function (dangling reference to "
+                          f"{target.name!r}?)")
 
 
-def _check_phis(fn: Function, reachable: Set[BasicBlock]) -> None:
+def _check_phis(fn: Function, reachable: Set[BasicBlock],
+                members: Set[BasicBlock]) -> None:
     for block in fn.blocks:
         if block not in reachable:
             continue
@@ -72,6 +81,10 @@ def _check_phis(fn: Function, reachable: Set[BasicBlock]) -> None:
                     _fail(fn, f"phi after non-phi in block {block.name}",
                           instr)
                 incoming = set(instr.incoming_blocks)
+                for b in incoming:
+                    if b not in members:
+                        _fail(fn, f"phi incoming from a block not in the "
+                                  f"function ({b.name!r})", instr)
                 if incoming != preds:
                     _fail(fn, f"phi incomings {sorted(b.name for b in incoming)} "
                               f"do not match predecessors "
@@ -97,8 +110,9 @@ def _check_links(fn: Function) -> None:
                 _fail(fn, "store to non-pointer", instr)
 
 
-def _check_dominance(fn: Function, reachable: Set[BasicBlock]) -> None:
-    dt = DominatorTree(fn)
+def _check_dominance(fn: Function, reachable: Set[BasicBlock],
+                     cache) -> None:
+    dt = cache.dominators(fn)
     positions = {}
     for block in fn.blocks:
         for i, instr in enumerate(block.instructions):

@@ -52,9 +52,10 @@ CAT_RUNTIME = "runtime"
 CAT_CHANNEL = "channel"
 CAT_MEMORY = "mem"
 CAT_COST = "cost"
+CAT_PIPELINE = "pipeline"
 
 CATEGORIES = (CAT_INTERP, CAT_RUNTIME, CAT_CHANNEL, CAT_MEMORY,
-              CAT_COST)
+              CAT_COST, CAT_PIPELINE)
 
 #: The single simulated process all tracks live in.
 PID = 1
@@ -129,6 +130,13 @@ class Tracer:
         })
 
     # -- typed events ------------------------------------------------------------
+
+    def pass_span(self, name: str, ts_us: float, dur_us: float,
+                  args: Optional[dict] = None) -> None:
+        """One compilation-pipeline pass, as a complete span on the
+        ``pipeline`` track."""
+        self.complete(name, CAT_PIPELINE, "pipeline", ts_us, dur_us,
+                      args)
 
     def step_burst(self, ctx_name: str, mode: Optional[str],
                    steps: int, t0_us: float) -> None:

@@ -1,0 +1,52 @@
+"""repro.pipeline — the staged compilation pipeline.
+
+An LLVM-style pass manager over the Privagic toolchain: named passes,
+a shared analysis cache with explicit invalidation, per-pass metrics
+and tracing, and default pipelines the compiler, frontend and CLI all
+delegate to.
+"""
+
+from repro.pipeline.analyses import AnalysisCache
+from repro.pipeline.context import CompilationContext, PassTiming
+from repro.pipeline.manager import (
+    ANALYZE_PIPELINE,
+    DEFAULT_PIPELINE,
+    FRONTEND_PIPELINE,
+    PASS_REGISTRY,
+    PassManager,
+    parse_pipeline,
+)
+from repro.pipeline.passes import (
+    ConstFoldPass,
+    DCEPass,
+    FunctionPass,
+    Mem2RegPass,
+    PartitionPass,
+    Pass,
+    SecureTypeAnalysisPass,
+    SimplifyCFGPass,
+    StructRewritePass,
+    VerifyPass,
+)
+
+__all__ = [
+    "AnalysisCache",
+    "CompilationContext",
+    "PassTiming",
+    "PassManager",
+    "parse_pipeline",
+    "PASS_REGISTRY",
+    "DEFAULT_PIPELINE",
+    "ANALYZE_PIPELINE",
+    "FRONTEND_PIPELINE",
+    "Pass",
+    "FunctionPass",
+    "Mem2RegPass",
+    "SimplifyCFGPass",
+    "ConstFoldPass",
+    "DCEPass",
+    "StructRewritePass",
+    "SecureTypeAnalysisPass",
+    "PartitionPass",
+    "VerifyPass",
+]

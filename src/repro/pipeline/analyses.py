@@ -1,0 +1,91 @@
+"""Cached CFG analyses for the compilation pipeline.
+
+Every consumer of dominator information (``mem2reg``, the Rule-4 block
+coloring, the partitioner's chunk builder, the verifier) used to
+rebuild :class:`~repro.ir.cfg.DominatorTree` from scratch on each use.
+The :class:`AnalysisCache` memoizes the CFG-shape analyses per
+function and is the *only* place a ``DominatorTree`` is constructed;
+passes declare whether they preserve the CFG and the
+:class:`~repro.pipeline.manager.PassManager` invalidates accordingly.
+
+All cached analyses depend exclusively on the CFG shape (blocks and
+terminator edges), so a CFG-preserving pass (``mem2reg``, ``dce``,
+``constfold``) keeps the whole cache valid, while a CFG-mutating pass
+(``simplify-cfg``, anything merging or deleting blocks) must
+invalidate it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.cfg import DominatorTree, reverse_postorder
+from repro.ir.module import BasicBlock, Function
+
+
+class AnalysisCache:
+    """Per-function memo of CFG analyses, keyed by function identity.
+
+    :class:`~repro.ir.module.Function` objects hash by identity, so a
+    specialized clone gets its own cache entries and never aliases its
+    template's.
+    """
+
+    DOMTREE = "domtree"
+    POSTDOMTREE = "postdomtree"
+    RPO = "rpo"
+    REACHABLE = "reachable"
+    FRONTIER = "frontier"
+
+    def __init__(self):
+        self._cache: Dict[Function, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- memoization -----------------------------------------------------------
+
+    def _get(self, fn: Function, kind: str, build):
+        per_fn = self._cache.setdefault(fn, {})
+        try:
+            value = per_fn[kind]
+            self.hits += 1
+            return value
+        except KeyError:
+            self.misses += 1
+            value = per_fn[kind] = build()
+            return value
+
+    # -- analyses --------------------------------------------------------------
+
+    def dominators(self, fn: Function) -> DominatorTree:
+        return self._get(fn, self.DOMTREE,
+                         lambda: DominatorTree(fn, post=False))
+
+    def postdominators(self, fn: Function) -> DominatorTree:
+        return self._get(fn, self.POSTDOMTREE,
+                         lambda: DominatorTree(fn, post=True))
+
+    def reverse_postorder(self, fn: Function) -> List[BasicBlock]:
+        return self._get(fn, self.RPO, lambda: reverse_postorder(fn))
+
+    def reachable(self, fn: Function) -> Set[BasicBlock]:
+        return self._get(fn, self.REACHABLE,
+                         lambda: set(self.reverse_postorder(fn)))
+
+    def frontier(self, fn: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+        return self._get(fn, self.FRONTIER,
+                         lambda: self.dominators(fn).frontier())
+
+    # -- invalidation ----------------------------------------------------------
+
+    def invalidate(self, fn: Optional[Function] = None) -> None:
+        """Forget cached analyses for ``fn``, or for every function
+        when ``fn`` is None (a pass mutated CFGs module-wide)."""
+        if fn is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(fn, None)
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "functions": len(self._cache)}

@@ -1,0 +1,119 @@
+"""Unit tests for the shared analysis cache: memoization,
+invalidation, and the rule that dominator trees are built nowhere
+else."""
+
+import os
+
+from repro.frontend import compile_source
+from repro.ir.cfg import DominatorTree
+from repro.pipeline import AnalysisCache
+
+SOURCE = """
+    int f(int x) {
+        int acc = 0;
+        if (x > 0) { acc = x; } else { acc = 0 - x; }
+        return acc;
+    }
+    entry int main() { return f(7); }
+"""
+
+
+def module_and_fn():
+    module = compile_source(SOURCE)
+    return module, module.functions["f"]
+
+
+def test_repeated_queries_hit_the_cache():
+    _, fn = module_and_fn()
+    cache = AnalysisCache()
+    first = cache.dominators(fn)
+    assert cache.dominators(fn) is first
+    assert cache.stats() == {"hits": 1, "misses": 1,
+                             "functions": 1}
+
+
+def test_each_analysis_kind_is_cached_separately():
+    _, fn = module_and_fn()
+    cache = AnalysisCache()
+    dom = cache.dominators(fn)
+    pdom = cache.postdominators(fn)
+    assert dom is not pdom
+    assert isinstance(dom, DominatorTree) and isinstance(
+        pdom, DominatorTree)
+    rpo = cache.reverse_postorder(fn)
+    assert rpo[0] is fn.blocks[0]
+    assert cache.stats()["misses"] == 3
+    cache.dominators(fn)
+    cache.postdominators(fn)
+    cache.reverse_postorder(fn)
+    assert cache.stats()["hits"] == 3
+
+
+def test_functions_are_cached_independently():
+    module, fn = module_and_fn()
+    main = module.functions["main"]
+    cache = AnalysisCache()
+    dom_f = cache.dominators(fn)
+    dom_main = cache.dominators(main)
+    assert dom_f is not dom_main
+    assert cache.stats() == {"hits": 0, "misses": 2,
+                             "functions": 2}
+
+
+def test_invalidate_one_function_keeps_the_others():
+    module, fn = module_and_fn()
+    main = module.functions["main"]
+    cache = AnalysisCache()
+    cache.dominators(fn)
+    dom_main = cache.dominators(main)
+    cache.invalidate(fn)
+    assert cache.dominators(main) is dom_main   # hit
+    old = cache.dominators(fn)
+    assert cache.stats()["misses"] == 3          # fn was rebuilt
+    assert old is cache.dominators(fn)
+
+
+def test_invalidate_all_drops_everything():
+    _, fn = module_and_fn()
+    cache = AnalysisCache()
+    first = cache.dominators(fn)
+    cache.invalidate()
+    assert cache.dominators(fn) is not first
+
+
+def test_frontier_is_derived_from_the_cached_dominators():
+    _, fn = module_and_fn()
+    cache = AnalysisCache()
+    frontier = cache.frontier(fn)
+    assert isinstance(frontier, dict)
+    # Both if-arms have the join block in their dominance frontier.
+    blocks = {b.name: b for b in fn.blocks}
+    join = next(b for name, b in blocks.items() if "end" in name)
+    arms = [b for name, b in blocks.items()
+            if "then" in name or "else" in name]
+    assert len(arms) == 2
+    for arm in arms:
+        assert join in frontier[arm]
+
+
+def test_dominator_trees_are_built_only_inside_the_cache():
+    """Acceptance criterion: ``DominatorTree(...)`` is constructed in
+    exactly one place — the analysis cache.  Everything else must go
+    through it (and share the memoized trees)."""
+    import repro
+    src_root = os.path.dirname(repro.__file__)
+    offenders = []
+    for dirpath, _, filenames in os.walk(src_root):
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, src_root)
+            with open(path) as handle:
+                text = handle.read()
+            if "DominatorTree(" in text and rel not in (
+                    os.path.join("ir", "cfg.py"),          # the class
+                    os.path.join("pipeline", "analyses.py")):
+                offenders.append(rel)
+    assert not offenders, (
+        f"DominatorTree constructed outside AnalysisCache: {offenders}")

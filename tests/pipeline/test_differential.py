@@ -1,0 +1,82 @@
+"""Differential tests: the optimization trio must change performance,
+never behavior.
+
+The baseline pipeline is the bare Figure-5 sequence with no
+optimization passes; the optimized pipeline is the default one
+(constfold + simplify-cfg + dce between mem2reg and the struct
+rewriting).  Both are run to completion on both interpreter engines
+and must agree on results, output, and message traffic — while the
+optimized build of ``examples/fig7.c`` must execute strictly fewer
+interpreter steps.
+"""
+
+import os
+
+import pytest
+
+from repro.core.compiler import compile_and_partition
+from repro.runtime import PrivagicRuntime
+from repro.sgx import SGXAccessPolicy
+
+BASELINE = "mem2reg,struct-rewrite,secure-types,partition"
+
+FIG7_PATH = os.path.join(os.path.dirname(__file__), "..", "..",
+                         "examples", "fig7.c")
+
+
+def run_fig7(passes, engine):
+    with open(FIG7_PATH) as handle:
+        source = handle.read()
+    program = compile_and_partition(source, mode="relaxed",
+                                    passes=passes)
+    runtime = PrivagicRuntime(program, engine=engine)
+    SGXAccessPolicy().attach(runtime.machine)
+    result = runtime.run("main", [])
+    return {
+        "result": result,
+        "steps": runtime.machine.total_steps,
+        "messages": runtime.stats.as_dict(),
+        "stdout": runtime.machine.stdout,
+    }
+
+
+@pytest.mark.parametrize("engine", ["decoded", "legacy"])
+def test_fig7_optimized_is_equivalent_but_strictly_faster(engine):
+    baseline = run_fig7(BASELINE, engine)
+    optimized = run_fig7(None, engine)
+    # Identical observable behavior ...
+    assert optimized["result"] == baseline["result"] == 42
+    assert optimized["stdout"] == baseline["stdout"] == "Hello\n"
+    assert optimized["messages"] == baseline["messages"]
+    # ... at a strictly lower dynamic cost: the constant budget
+    # computation and the always-taken guard in `f` fold away.
+    assert optimized["steps"] < baseline["steps"]
+
+
+def test_fig7_engines_agree_per_pipeline():
+    for passes in (BASELINE, None):
+        decoded = run_fig7(passes, "decoded")
+        legacy = run_fig7(passes, "legacy")
+        assert decoded == legacy
+
+
+def test_minicache_optimized_matches_unoptimized():
+    """The paper's §9.2 application, compiled with and without the
+    optimization trio, must produce identical results and message
+    counts."""
+    from repro.apps.minicache.minic_source import (
+        ANNOTATED_SOURCE, DECLASSIFY_EXTERNALS)
+
+    def run(passes):
+        program = compile_and_partition(ANNOTATED_SOURCE,
+                                        mode="hardened", passes=passes)
+        runtime = PrivagicRuntime(program, DECLASSIFY_EXTERNALS,
+                                  max_steps=30_000_000)
+        SGXAccessPolicy().attach(runtime.machine)
+        result = runtime.run("run_cache", [40])
+        return result, runtime.stats.as_dict()
+
+    base_result, base_stats = run(BASELINE)
+    opt_result, opt_stats = run(None)
+    assert opt_result == base_result
+    assert opt_stats == base_stats

@@ -1,0 +1,75 @@
+"""Golden round-trips: after every pipeline stage the module must
+still print to parseable IR whose re-print is a fixed point."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import print_module, verify_module
+from repro.ir.parser import parse_module
+from repro.pipeline import ANALYZE_PIPELINE, PassManager
+
+SOURCE = """
+    struct pair { int a; int b; };
+    int color(blue) secret = 5;
+    int color(blue) blue_out = 0;
+    int tally = 0;
+
+    int weigh(int n) {
+        int budget = 4 * 8;
+        if (n > budget) { return budget; }
+        return n;
+    }
+
+    entry int main() {
+        struct pair* p = malloc(sizeof(struct pair));
+        p->a = weigh(50);
+        p->b = weigh(7);
+        blue_out = weigh(secret);
+        tally = p->a + p->b;
+        return tally;
+    }
+"""
+
+STAGES = [ANALYZE_PIPELINE[:i + 1]
+          for i in range(len(ANALYZE_PIPELINE))]
+
+
+@pytest.mark.parametrize("stages", STAGES,
+                         ids=["-".join(s) for s in STAGES])
+def test_print_parse_print_is_a_fixed_point_after_each_stage(stages):
+    module = compile_source(SOURCE)
+    PassManager(stages).run(module, mode="relaxed")
+    text1 = print_module(module)
+    parsed = parse_module(text1, name=module.name)
+    verify_module(parsed)
+    text2 = print_module(parsed)
+    assert text1 == text2
+
+
+PARTITION_SOURCE = """
+    int color(blue) secret = 5;
+    int color(blue) blue_out = 0;
+
+    int weigh(int n) {
+        int budget = 4 * 8;
+        if (n > budget) { return budget; }
+        return n;
+    }
+
+    entry int main() {
+        blue_out = weigh(secret);
+        return weigh(50);
+    }
+"""
+
+
+def test_partitioned_modules_round_trip():
+    from repro.core.compiler import PrivagicCompiler
+    program = PrivagicCompiler(mode="relaxed").compile_source(
+        PARTITION_SOURCE)
+    assert program is not None
+    for color in program.colors:
+        module = program.modules[color]
+        text1 = print_module(module)
+        parsed = parse_module(text1, name=module.name)
+        assert print_module(parsed) == text1

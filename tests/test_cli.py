@@ -134,3 +134,64 @@ def test_run_stats_prints_metrics(fig7_file, capsys):
 def test_run_rejects_unknown_engine(fig7_file, capsys):
     with pytest.raises(SystemExit):
         main(["run", "--engine", "turbo", fig7_file])
+
+
+# -- pass-pipeline flags ------------------------------------------------------
+
+
+def test_compile_passes_flag_without_partition(clean_file, capsys):
+    assert main(["compile", clean_file, "--mode", "relaxed",
+                 "--passes", "mem2reg,constfold,dce"]) == 0
+    out = capsys.readouterr().out
+    # No partition pass: the single optimized module is printed.
+    assert "; module" in out
+    assert "@main$" not in out             # no specialized clones
+
+
+def test_compile_stats_reports_per_pass_metrics(clean_file, capsys):
+    assert main(["compile", clean_file, "--mode", "relaxed",
+                 "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline.pass.seconds[mem2reg] = " in out
+    assert "pipeline.pass.runs[partition] = " in out
+    assert "pipeline.analysis_cache.hits = " in out
+
+
+def test_compile_time_passes_prints_the_table(clean_file, capsys):
+    assert main(["compile", clean_file, "--mode", "relaxed",
+                 "--time-passes"]) == 0
+    err = capsys.readouterr().err
+    assert "=== pass timings ===" in err
+    assert "mem2reg" in err
+
+
+def test_compile_print_after_each_dumps_ir(clean_file, capsys):
+    assert main(["compile", clean_file, "--mode", "relaxed",
+                 "--print-after-each"]) == 0
+    err = capsys.readouterr().err
+    assert "; === IR after mem2reg ===" in err
+    assert "; === IR after partition ===" in err
+
+
+def test_unknown_pass_is_an_error(clean_file, capsys):
+    assert main(["compile", clean_file, "--passes", "typo"]) == 1
+    assert "unknown pass 'typo'" in capsys.readouterr().err
+
+
+def test_run_without_partition_pass_is_an_error(fig7_file, capsys):
+    assert main(["run", "--mode", "relaxed",
+                 "--passes", "mem2reg", fig7_file]) == 1
+    assert "did not produce a partitioned program" in \
+        capsys.readouterr().err
+
+
+def test_analyze_without_secure_types_pass_is_an_error(clean_file,
+                                                       capsys):
+    assert main(["analyze", clean_file, "--mode", "relaxed",
+                 "--passes", "mem2reg"]) == 1
+    assert "secure-types" in capsys.readouterr().err
+
+
+def test_analyze_error_names_the_source_line(broken_file, capsys):
+    assert main(["analyze", broken_file]) == 1
+    assert "source line 4:" in capsys.readouterr().err
