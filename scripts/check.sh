@@ -12,7 +12,9 @@ set -e
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
-python -m pytest -x -q -m "not slow" "$@"
+# An explicit -m overrides the addopts default, so exclude both
+# out-of-band marker families here.
+python -m pytest -x -q -m "not slow and not chaos" "$@"
 REPRO_BENCH_SMOKE=1 python benchmarks/bench_interp_dispatch.py
 rm -f BENCH_interp.smoke.json
 
@@ -38,3 +40,23 @@ grep -q "pipeline.pass.seconds\[mem2reg\]" /tmp/repro-pipeline.out
 grep -q "pipeline.pass.runs\[dce\]" /tmp/repro-pipeline.out
 echo "cli smoke: pass pipeline OK (per-pass metrics present)"
 rm -f /tmp/repro-pipeline.out
+
+# Chaos smoke: a fixed-seed differential sweep on Fig 7 — every
+# seeded fault schedule must end identical to the fault-free run or
+# in a typed RuntimeFault (exit 1 on any silently-wrong outcome).
+python -m repro.faults.differential examples/fig7.c \
+    --seeds 16 --base-seed 1234
+# And one explicit injection through the CLI: dropping the first
+# spawn must exit with the DeadlockFault code (4).
+if python -m repro run examples/fig7.c --mode relaxed \
+    --inject 'channel-drop:*:spawn:1' > /dev/null 2>&1; then
+    echo "chaos smoke: injected drop did NOT fault" >&2
+    exit 1
+else
+    status=$?
+    if [ "$status" -ne 4 ]; then
+        echo "chaos smoke: expected exit 4, got $status" >&2
+        exit 1
+    fi
+fi
+echo "chaos smoke: typed-fault/identical contract OK"

@@ -83,6 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-steps", type=int, default=None,
                      metavar="N",
                      help="abort the run after N scheduler steps")
+    run.add_argument("--inject", metavar="SPEC", default=None,
+                     help="fault-injection schedule, e.g. "
+                          "'channel-drop:U->green:spawn:2,"
+                          "iago-retval:malloc:1:replay' "
+                          "(see repro.faults.plan)")
+    run.add_argument("--chaos-seed", type=int, default=None,
+                     metavar="SEED",
+                     help="draw a random fault plan from SEED "
+                          "instead of an explicit --inject spec")
+    run.add_argument("--watchdog-steps", type=int, default=None,
+                     metavar="N",
+                     help="per-context step budget; exceeding it "
+                          "raises WatchdogTimeout with stall "
+                          "diagnostics")
     run.add_argument("--trace", metavar="OUT.json", default=None,
                      help="write a Chrome trace_event JSON of the run "
                           "(load in chrome://tracing or Perfetto)")
@@ -182,35 +196,82 @@ def cmd_run(options) -> int:
     kwargs = {}
     if options.max_steps is not None:
         kwargs["max_steps"] = options.max_steps
+    if options.watchdog_steps is not None:
+        kwargs["watchdog_steps"] = options.watchdog_steps
     runtime = PrivagicRuntime(program, engine=options.engine, **kwargs)
     SGXAccessPolicy().attach(runtime.machine)
     if obs is not None:
         obs.attach(runtime)
+    injector = _build_injector(options, program)
+    if injector is not None:
+        # After obs, so injection/detection events reach the tracer.
+        injector.attach(runtime)
+        print(f"chaos: injecting [{injector.plan.spec()}]",
+              file=sys.stderr)
     try:
         result = runtime.run(options.entry, options.args)
     finally:
         if obs is not None:
             obs.detach()
+        # The trace is most valuable when the run died with a typed
+        # fault, so write it on the failure path too (stderr there,
+        # to keep stdout clean for the fault-free contract).
+        if obs is not None and options.trace:
+            obs.write_trace(options.trace)
+            print(f"trace: wrote {options.trace} "
+                  f"({len(obs.tracer.events)} events)",
+                  file=sys.stdout if sys.exc_info()[0] is None
+                  else sys.stderr)
     if runtime.machine.stdout:
         sys.stdout.write(runtime.machine.stdout)
     print(f"{options.entry}({', '.join(map(str, options.args))}) "
           f"= {result}")
     print(f"messages: {runtime.stats.as_dict()}")
-    if obs is not None and options.trace:
-        obs.write_trace(options.trace)
-        print(f"trace: wrote {options.trace} "
-              f"({len(obs.tracer.events)} events)")
+    if injector is not None:
+        print(f"faults: injected={injector.injected_total()} "
+              f"detected={injector.detected_total()} "
+              f"of {injector.armed} armed")
     if obs is not None and options.stats:
         print(obs.metrics_text())
     return 0
 
 
+def _build_injector(options, program):
+    """The fault injector requested by --inject / --chaos-seed, or
+    ``None`` for an honest run."""
+    if options.inject is None and options.chaos_seed is None:
+        return None
+    from repro.faults import FaultInjector, FaultPlan
+
+    if options.inject is not None:
+        plan = FaultPlan.parse(options.inject,
+                               seed=options.chaos_seed or 0)
+    else:
+        colors = sorted(set(program.chunk_colors.values())
+                        - {program.untrusted})
+        plan = FaultPlan.random(options.chaos_seed, colors,
+                                untrusted=program.untrusted)
+    return FaultInjector(plan)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.errors import RuntimeFault, fault_exit_code
+
     options = build_parser().parse_args(argv)
     handler = {"analyze": cmd_analyze, "compile": cmd_compile,
                "run": cmd_run}[options.command]
     try:
         return handler(options)
+    except RuntimeFault as error:
+        # One structured line per fault, then the diagnostic detail;
+        # the exit code identifies the fault class (errors.py).
+        code = fault_exit_code(error)
+        lines = str(error).splitlines() or [""]
+        print(f"fault[{type(error).__name__}] exit={code}: {lines[0]}",
+              file=sys.stderr)
+        for line in lines[1:]:
+            print(line, file=sys.stderr)
+        return code
     except PrivagicError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

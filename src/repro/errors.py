@@ -71,7 +71,64 @@ class PartitionError(PrivagicError):
 
 class RuntimeFault(PrivagicError):
     """A fault during simulated execution (bad address, SGX access
-    violation, deadlock in the worker/channel runtime)."""
+    violation, deadlock in the worker/channel runtime).
+
+    The partitioned runtime degrades *detect-and-fault*, never
+    silently-wrong: every anomaly the runtime or the chaos harness can
+    observe raises one of the typed subclasses below, and the CLI maps
+    each subclass to a stable nonzero exit code (:func:`fault_exit_code`)
+    so harnesses can assert on the fault class without parsing stderr.
+    """
+
+
+class DeadlockFault(RuntimeFault):
+    """No context can make progress while messages are still awaited.
+
+    Carries the full per-context / per-channel diagnostic report in its
+    message: each parked context's awaited ``(src, kind)`` and every
+    non-empty channel's pending-by-kind counts.
+    """
+
+
+class IagoFault(RuntimeFault):
+    """The untrusted side handed the runtime data that fails an
+    integrity check: a channel message that does not authenticate, a
+    replayed or out-of-sequence message, or an untrusted external whose
+    return value violates its postcondition (the Iago attacks of
+    paper §4 / Table 3)."""
+
+
+class EnclaveCrash(RuntimeFault):
+    """A simulated asynchronous enclave exit (AEX) killed a worker and
+    the runtime could not (or was configured not to) restart it."""
+
+
+class WatchdogTimeout(RuntimeFault):
+    """A context exceeded its step budget, or the whole partitioned
+    run exceeded ``max_steps`` — the loud upgrade of a silent hang."""
+
+
+#: CLI exit codes per fault class, most-derived first.  1 stays the
+#: generic :class:`PrivagicError` code and 2 the OS-error code; the
+#: runtime fault taxonomy gets 3-8.
+FAULT_EXIT_CODES = (
+    (DeadlockFault, 4),
+    (IagoFault, 5),
+    (EnclaveCrash, 6),
+    (WatchdogTimeout, 7),
+)
+
+
+def fault_exit_code(error: BaseException) -> int:
+    """The CLI exit code for ``error`` (see :data:`FAULT_EXIT_CODES`)."""
+    for cls, code in FAULT_EXIT_CODES:
+        if isinstance(error, cls):
+            return code
+    if isinstance(error, SGXAccessViolation):
+        return 8
+    if isinstance(error, RuntimeFault):
+        return 3
+    return 1
 
 
 class SGXAccessViolation(RuntimeFault):

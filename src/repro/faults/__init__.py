@@ -1,0 +1,39 @@
+"""Deterministic fault injection: the adversarial untrusted runtime.
+
+Privagic's guarantees (paper Table 3, the Iago rules) are claims about
+what happens when the *untrusted* side misbehaves — yet an honest
+simulator only ever exercises the honest path.  This package closes
+that gap: a :class:`FaultPlan` (explicit ``--inject`` schedule or a
+seeded random plan) drives a :class:`FaultInjector` that interposes on
+the three untrusted surfaces of the runtime —
+
+* in-flight channel messages (drop / duplicate / reorder / corrupt),
+* return values of untrusted externals (Iago attacks),
+* worker enclave lifetime (simulated AEX crash / restart-and-replay),
+
+plus a watchdog for stalls — and the differential harness in
+:mod:`repro.faults.differential` checks the only two acceptable
+outcomes: a run identical to the fault-free one, or a typed
+:class:`~repro.errors.RuntimeFault` naming the injection.  Never
+silently wrong.
+"""
+
+from repro.faults.plan import (
+    FaultEntry,
+    FaultPlan,
+    FaultSpecError,
+)
+from repro.faults.injector import FaultInjector
+
+# The differential harness (Outcome, classify, run_outcome,
+# chaos_sweep) lives in repro.faults.differential and is imported from
+# there directly: it doubles as a ``python -m repro.faults.
+# differential`` entry point, and re-exporting it here would make that
+# invocation warn about the module being imported twice.
+
+__all__ = [
+    "FaultEntry",
+    "FaultPlan",
+    "FaultSpecError",
+    "FaultInjector",
+]

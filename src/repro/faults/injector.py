@@ -1,0 +1,296 @@
+"""The fault injector: an adversarial untrusted runtime.
+
+One :class:`FaultInjector` executes a :class:`~repro.faults.plan.
+FaultPlan` against a live :class:`~repro.runtime.executor.
+PrivagicRuntime` by standing in every place the real untrusted side
+stands:
+
+* **channel adversary** — :meth:`on_send` is called by
+  :meth:`Channel.push` between the authenticated send and the
+  enqueue, exactly the window unsafe memory gives a real attacker; it
+  decides what actually lands in the queue (nothing, the message,
+  two copies, a corrupted payload, or a swapped pair).
+* **Iago corruptor** — :meth:`attach` wraps the targeted untrusted
+  externals so their integer return values can be perturbed *after*
+  the honest postcondition guard ran; the corrupted value is then
+  re-checked, so guarded externals always detect the injection.
+* **enclave killer** — :meth:`on_spawn_delivery` is called by the
+  trampoline at the spawn-delivery boundary and either replays the
+  spawn after a bounded restart or raises
+  :class:`~repro.errors.EnclaveCrash`.
+
+The injector never *hides* anything: every injection and every
+detection is counted (``injected`` / ``detected``) and emitted on the
+tracer's ``fault`` category, feeding the ``faults.*`` metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import EnclaveCrash
+from repro.faults.plan import (
+    CHANNEL_ACTIONS,
+    ENCLAVE_ACTIONS,
+    IAGO_ACTION,
+    FaultPlan,
+)
+from repro.runtime.iago import GUARDS, verify_external_result
+from repro.sgx.enclave import EnclaveFaultModel
+
+
+class FaultInjector:
+    """Executes a fault plan against one runtime (attach/detach)."""
+
+    def __init__(self, plan: FaultPlan,
+                 fault_model: Optional[EnclaveFaultModel] = None):
+        self.plan = plan
+        self.model = fault_model or EnclaveFaultModel()
+        self.runtime = None
+        #: action -> count of injections performed
+        self.injected: Dict[str, int] = {}
+        #: detection kind -> count of faults detected (by the channel
+        #: auth check, the Iago guards, the watchdog, ...)
+        self.detected: Dict[str, int] = {}
+        #: (src, dst) -> message withheld by a reorder, delivered
+        #: after the next send on the same channel
+        self._stash: Dict[Tuple[str, str], object] = {}
+        #: external name -> original handler (restored on detach)
+        self._wrapped: Dict[str, object] = {}
+        #: external name -> last honest result (for ``replay`` mode)
+        self._replay_cache: Dict[str, object] = {}
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def attach(self, runtime) -> "FaultInjector":
+        """Install this injector on ``runtime``: channel adversary on
+        every worker group (existing and future), Iago corruptors on
+        the targeted externals."""
+        self.runtime = runtime
+        runtime.fault_injector = self
+        for group in runtime._groups.values():
+            group.matrix.set_adversary(self)
+        self._wrap_externals(runtime)
+        return self
+
+    def detach(self) -> None:
+        runtime = self.runtime
+        if runtime is None:
+            return
+        for name, original in self._wrapped.items():
+            runtime.machine.externals[name] = original
+        self._wrapped.clear()
+        for group in runtime._groups.values():
+            group.matrix.set_adversary(None)
+        runtime.fault_injector = None
+        self.runtime = None
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def armed(self) -> int:
+        return len(self.plan.entries)
+
+    def injected_total(self) -> int:
+        return sum(self.injected.values())
+
+    def detected_total(self) -> int:
+        return sum(self.detected.values())
+
+    def on_detect(self, kind: str, args: Dict[str, object]) -> None:
+        """Detection callback: the runtime's integrity checks call
+        this (and emit their own tracer event) before raising."""
+        self.detected[kind] = self.detected.get(kind, 0) + 1
+
+    def _emit(self, event: str, kind: str,
+              args: Dict[str, object]) -> None:
+        tracer = getattr(self.runtime, "tracer", None)
+        if tracer is not None:
+            fault = getattr(tracer, "fault", None)
+            if fault is not None:
+                fault(event, kind, args)
+
+    def _note_inject(self, action: str,
+                     args: Dict[str, object]) -> None:
+        self.injected[action] = self.injected.get(action, 0) + 1
+        self._emit("inject", action, args)
+
+    # -- channel adversary ---------------------------------------------------------
+
+    def on_send(self, channel, message) -> List[object]:
+        """Decide what ``push`` actually enqueues for ``message``.
+
+        A reordered message is withheld and rides behind the *next*
+        send on the same channel (if none follows, the withhold
+        degrades into a drop — still detected as a gap or a
+        deadlock, never absorbed)."""
+        key = (channel.src, channel.dst)
+        withheld = self._stash.pop(key, None)
+        deliveries: List[object] = [message]
+        for entry in self.plan.entries:
+            if entry.fired or entry.action not in CHANNEL_ACTIONS:
+                continue
+            if entry.src not in ("*", channel.src):
+                continue
+            if entry.dst not in ("*", channel.dst):
+                continue
+            if entry.msg_kind not in ("*", message.kind):
+                continue
+            entry.matched += 1
+            if entry.matched != entry.nth:
+                continue
+            entry.fired = True
+            self._note_inject(entry.action, {
+                "channel": f"{channel.src}->{channel.dst}",
+                "kind": message.kind, "spec": entry.spec()})
+            if entry.action == "channel-drop":
+                deliveries = []
+            elif entry.action == "channel-dup":
+                deliveries = [message, message]
+            elif entry.action == "channel-corrupt":
+                self._corrupt_message(message)
+            elif entry.action == "channel-reorder":
+                self._stash[key] = message
+                deliveries = []
+        if withheld is not None:
+            # The older message lands after the newer one: reordered.
+            deliveries.append(withheld)
+        return deliveries
+
+    @staticmethod
+    def _perturb_value(value):
+        if isinstance(value, bool) or value is None:
+            return 1 if not value else 0
+        if isinstance(value, int):
+            return value + 1
+        if isinstance(value, str):
+            return value + "☠"
+        if isinstance(value, list):
+            return list(value) + [1]
+        return ("corrupt", value)
+
+    def _corrupt_message(self, message) -> None:
+        """Rewrite the payload in place.  The authentication tag was
+        stamped before we ran, so the receiver's check in
+        ``Channel._delivered`` can no longer match — the corruption
+        is detectable the moment the message is popped."""
+        if message.kind == "spawn":
+            if message.args:
+                message.args[0] = self._perturb_value(message.args[0])
+            else:
+                message.chunk = message.chunk + "☠"
+        else:
+            message.value = self._perturb_value(message.value)
+
+    # -- Iago corruptor ------------------------------------------------------------
+
+    def _wrap_externals(self, runtime) -> None:
+        entries = [e for e in self.plan.entries
+                   if e.action == IAGO_ACTION]
+        if not entries:
+            return
+        machine = runtime.machine
+        names = set()
+        for entry in entries:
+            if entry.target == "*":
+                # Wildcards only reach guarded externals, where the
+                # corruption is detectable by construction.
+                names.update(GUARDS)
+            else:
+                names.add(entry.target)
+        for name in sorted(names):
+            handler = machine.externals.get(name)
+            if handler is None:
+                continue
+            self._wrapped[name] = handler
+            machine.externals[name] = self._corrupting(name, handler)
+
+    def _corrupting(self, name: str, handler):
+        def corrupted(machine, ctx, args, _name=name, _raw=handler):
+            result = _raw(machine, ctx, args)
+            if not isinstance(result, int) \
+                    or isinstance(result, bool):
+                # BLOCK / PushCall / None pass through: only integer
+                # results are Iago-corruptible values.
+                return result
+            for entry in self.plan.entries:
+                if entry.fired or entry.action != IAGO_ACTION:
+                    continue
+                if entry.target not in ("*", _name):
+                    continue
+                if entry.target == "*" and _name not in GUARDS:
+                    continue
+                entry.matched += 1
+                if entry.matched != entry.nth:
+                    continue
+                entry.fired = True
+                hostile = self._perturb_result(_name, entry.mode,
+                                               result)
+                self._note_inject(IAGO_ACTION, {
+                    "external": _name, "mode": entry.mode,
+                    "honest": result, "hostile": hostile,
+                    "spec": entry.spec()})
+                # Re-run the postcondition against the hostile value:
+                # guarded externals detect it here (IagoFault);
+                # unguarded ones hand it to the program, where only
+                # an unused return keeps the run identical.
+                verify_external_result(self.runtime, _name, machine,
+                                       ctx, args, hostile)
+                return hostile
+            self._replay_cache[_name] = result
+            return result
+
+        corrupted._iago_injector = True
+        return corrupted
+
+    def _perturb_result(self, name: str, mode: str, result: int):
+        if mode == "huge":
+            return (1 << 62) + result
+        if mode == "negative":
+            return -abs(result) - 1
+        if mode == "zero":
+            return 0
+        if mode == "replay":
+            return self._replay_cache.get(name, result + 1)
+        return result + 1  # offset
+
+    # -- enclave killer ------------------------------------------------------------
+
+    def on_spawn_delivery(self, color: str, chunk: str) -> None:
+        """Called by the trampoline before a chunk's first
+        instruction.  Either returns (no fault, or the worker
+        restarted and the spawn is being replayed exactly) or raises
+        :class:`EnclaveCrash`."""
+        runtime = self.runtime
+        for entry in self.plan.entries:
+            if entry.fired or entry.action not in ENCLAVE_ACTIONS:
+                continue
+            if entry.target == "*":
+                if runtime is not None \
+                        and color == runtime.untrusted:
+                    # The untrusted "worker" is the application
+                    # thread itself, not an enclave.
+                    continue
+            elif entry.target != color:
+                continue
+            entry.matched += 1
+            if entry.matched != entry.nth:
+                continue
+            entry.fired = True
+            recover = entry.action == "enclave-restart"
+            self._note_inject(entry.action, {
+                "color": color, "chunk": chunk,
+                "spec": entry.spec()})
+            if self.model.crash(color, chunk, recover):
+                # Restarted within budget: the crash hit the
+                # spawn-delivery boundary, so replaying the pending
+                # spawn reproduces the fault-free run exactly.
+                self._emit("recover", entry.action,
+                           {"color": color, "chunk": chunk})
+                continue
+            self.on_detect("enclave-crash", {"color": color})
+            self._emit("detect", "enclave-crash",
+                       {"color": color, "chunk": chunk})
+            raise EnclaveCrash(
+                f"worker {color} crashed (AEX) while delivering "
+                f"{chunk!r}")

@@ -151,6 +151,15 @@ class Observability:
         for color, profile in self.color_profiles().items():
             for key, value in profile.items():
                 reg.set(f"color.{key}[{color}]", value)
+        injector = getattr(runtime, "fault_injector", None)
+        if injector is not None:
+            reg.set("faults.armed", injector.armed)
+            reg.set("faults.injected", injector.injected_total())
+            reg.set("faults.detected", injector.detected_total())
+            for action, count in injector.injected.items():
+                reg.set(f"faults.injected[{action}]", count)
+            for kind, count in injector.detected.items():
+                reg.set(f"faults.detected[{kind}]", count)
         if self.meter is not None:
             meter = self.meter.meter
             reg.set("cost.cycles", meter.cycles)

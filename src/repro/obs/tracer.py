@@ -26,6 +26,9 @@ vocabulary closed and schema-checkable:
                         and flushed as counter samples
 ``cost_charge``         simulated cycles by cost class, aggregated
                         and flushed as counter samples
+``fault``               a fault-injection/detection/recovery event
+                        from the chaos harness (repro.faults) or
+                        the runtime's integrity checks
 ======================  =========================================
 
 Per-access events would dwarf the run being observed, so the two
@@ -53,9 +56,10 @@ CAT_CHANNEL = "channel"
 CAT_MEMORY = "mem"
 CAT_COST = "cost"
 CAT_PIPELINE = "pipeline"
+CAT_FAULT = "fault"
 
 CATEGORIES = (CAT_INTERP, CAT_RUNTIME, CAT_CHANNEL, CAT_MEMORY,
-              CAT_COST, CAT_PIPELINE)
+              CAT_COST, CAT_PIPELINE, CAT_FAULT)
 
 #: The single simulated process all tracks live in.
 PID = 1
@@ -173,6 +177,18 @@ class Tracer:
                      {"kind": kind, "depth": depth})
         self.counter(f"depth {src}->{dst}", CAT_CHANNEL,
                      {"pending": depth})
+
+    def fault(self, event: str, kind: str,
+              args: Optional[dict] = None) -> None:
+        """One fault-injection or fault-detection event on the
+        ``faults`` track.  ``event`` is ``inject`` (the chaos harness
+        perturbed something), ``detect`` (an integrity check caught
+        an anomaly, typed fault imminent) or ``recover`` (a crashed
+        worker restarted and replayed its spawn)."""
+        payload = {"kind": kind}
+        if args:
+            payload.update(args)
+        self.instant(event, CAT_FAULT, "faults", payload)
 
     def memory_access(self, region: str, rw: str) -> None:
         """Aggregated: one counter sample per ``sample_every``

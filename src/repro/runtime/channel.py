@@ -12,6 +12,19 @@ order for multi-kind receives and debugging views.
 The channel also keeps the counters the cost model charges: every
 message that crosses an enclave boundary is an enclave-boundary
 event, far cheaper than an SDK ecall but not free (§9.3.2).
+
+Because the queues live in *unsafe* memory, the untrusted side can
+drop, duplicate, reorder or rewrite anything in flight.  The runtime
+therefore authenticates every message: the sender stamps a per-kind
+sequence number and an authentication tag over the payload (standing
+in for the MAC of an authenticated channel — the adversary can mutate
+the message but cannot forge a matching tag), and the receiver
+verifies both on every dequeue.  A mismatch raises
+:class:`~repro.errors.IagoFault` naming the channel, so injected
+corruption is detected at the boundary instead of being absorbed into
+a wrong answer.  The ``adversary`` hook (see :mod:`repro.faults`) is
+how the chaos harness interposes on in-flight messages; like
+``tracer`` it is ``None`` on the honest fast path.
 """
 
 from __future__ import annotations
@@ -19,17 +32,45 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
+from repro.errors import IagoFault
+
+
+def _payload_key(message: "Message") -> object:
+    """A hashable digest-input for the message payload."""
+    if message.kind == "spawn":
+        args = tuple(tuple(a) if isinstance(a, list) else a
+                     for a in message.args)
+        return (message.chunk, args, message.reply_to)
+    value = message.value
+    if isinstance(value, list):
+        value = tuple(value)
+    try:
+        hash(value)
+    except TypeError:
+        value = repr(value)
+    return value
+
+
+def _auth_tag(src: str, dst: str, kind: str, kseq: int,
+              payload: object) -> int:
+    """Authentication tag over one message.  A stand-in for the MAC of
+    an authenticated channel: the simulated adversary may rewrite the
+    payload but (by construction) never recomputes the tag."""
+    return hash((src, dst, kind, kseq, payload))
+
 
 class Message:
     """A ``cont`` message carrying an F value or a synchronization
     token (§7.3.2, §7.3.3)."""
 
-    __slots__ = ("kind", "value", "seq")
+    __slots__ = ("kind", "value", "seq", "kseq", "auth")
 
     def __init__(self, kind: str, value: object = None):
         self.kind = kind  # "value" | "token"
         self.value = value
         self.seq = 0  # assigned by Channel.push (per-channel order)
+        self.kseq = 0  # per-(channel, kind) stream position
+        self.auth = None  # authentication tag, stamped by push
 
     def __repr__(self) -> str:
         return f"<Message {self.kind} {self.value!r}>"
@@ -72,6 +113,10 @@ class Channel:
         self.dst = dst
         self._queues: Dict[str, Deque[Message]] = {}
         self._seq = 0
+        #: Per-kind send/receive stream positions backing the
+        #: authentication check (drop = gap, duplicate = replay).
+        self._send_kseq: Dict[str, int] = {}
+        self._recv_kseq: Dict[str, int] = {}
         #: Total queued right now (kept O(1) for scheduler probes).
         self.count = 0
         self.sent = 0
@@ -81,16 +126,21 @@ class Channel:
         #: Optional :class:`repro.obs.tracer.Tracer`; ``None`` keeps
         #: push/pop free of observer work.
         self.tracer = tracer
+        #: Optional in-flight adversary (:class:`repro.faults.
+        #: FaultInjector`): consulted between the authenticated send
+        #: and the enqueue, exactly the window the untrusted memory
+        #: gives a real attacker.  ``None`` on the honest fast path.
+        self.adversary = None
 
     def push(self, message: Message) -> None:
+        kind = message.kind
         self._seq += 1
         message.seq = self._seq
-        kind = message.kind
-        queue = self._queues.get(kind)
-        if queue is None:
-            queue = self._queues[kind] = deque()
-        queue.append(message)
-        self.count += 1
+        kseq = self._send_kseq.get(kind, 0) + 1
+        self._send_kseq[kind] = kseq
+        message.kseq = kseq
+        message.auth = _auth_tag(self.src, self.dst, kind, kseq,
+                                 _payload_key(message))
         self.sent += 1
         self.kind_sent[kind] = self.kind_sent.get(kind, 0) + 1
         if kind == "spawn":
@@ -101,17 +151,73 @@ class Channel:
                 self.sent += inline
                 self.kind_sent["value"] = \
                     self.kind_sent.get("value", 0) + inline
+        if self.adversary is None:
+            self._enqueue(message)
+        else:
+            # Counters above describe what the sender *sent*; the
+            # adversary decides what actually lands in the queue.
+            for delivery in self.adversary.on_send(self, message):
+                self._enqueue(delivery)
+
+    def _enqueue(self, message: Message) -> None:
+        kind = message.kind
+        queue = self._queues.get(kind)
+        if queue is None:
+            queue = self._queues[kind] = deque()
+        queue.append(message)
+        self.count += 1
         if self.tracer is not None:
             self.tracer.channel_push(self.src, self.dst, kind,
                                      self.count)
 
+    def _fault(self, reason: str, kind: str, detail: str) -> None:
+        """Record a detected channel fault (adversary counter + trace
+        event), then raise :class:`IagoFault`."""
+        adversary = self.adversary
+        if adversary is not None:
+            on_detect = getattr(adversary, "on_detect", None)
+            if on_detect is not None:
+                on_detect(f"channel-{reason}",
+                          {"channel": f"{self.src}->{self.dst}",
+                           "kind": kind})
+        tracer = self.tracer
+        if tracer is not None:
+            fault = getattr(tracer, "fault", None)
+            if fault is not None:
+                fault("detect", f"channel-{reason}",
+                      {"channel": f"{self.src}->{self.dst}",
+                       "kind": kind})
+        raise IagoFault(
+            f"channel {self.src}->{self.dst}: {detail}")
+
     def _delivered(self, message: Message) -> Message:
+        kind = message.kind
         self.count -= 1
+        expected = self._recv_kseq.get(kind, 0) + 1
+        if message.auth != _auth_tag(self.src, self.dst, kind,
+                                     message.kseq,
+                                     _payload_key(message)):
+            self._fault(
+                "corrupt", kind,
+                f"{kind} message #{message.kseq} failed "
+                f"authentication (corrupted in transit)")
+        if message.kseq != expected:
+            if message.kseq < expected:
+                self._fault(
+                    "replay", kind,
+                    f"{kind} message #{message.kseq} replayed "
+                    f"(already delivered, expected #{expected})")
+            self._fault(
+                "gap", kind,
+                f"{kind} stream jumped to #{message.kseq} "
+                f"(expected #{expected}: a message was dropped or "
+                f"reordered)")
+        self._recv_kseq[kind] = expected
         self.received += 1
-        if message.kind == "spawn":
+        if kind == "spawn":
             self.received += len(message.args)
         if self.tracer is not None:
-            self.tracer.channel_pop(self.src, self.dst, message.kind,
+            self.tracer.channel_pop(self.src, self.dst, kind,
                                     self.count)
         return message
 
@@ -145,7 +251,15 @@ class Channel:
 
     @property
     def queue(self) -> List[Message]:
-        """Debugging view: all pending messages in arrival order."""
+        """Debugging view: all pending messages in arrival order.
+
+        Always a fresh snapshot list — mutating it never changes the
+        channel's internal queues (observers and injectors must go
+        through ``push``/the adversary hook to affect delivery).  The
+        contained :class:`Message` objects are the live ones; tampering
+        with their payloads is exactly what the authentication check in
+        :meth:`_delivered` exists to catch.
+        """
         merged = [m for q in self._queues.values() for m in q]
         merged.sort(key=lambda m: m.seq)
         return merged
@@ -163,14 +277,16 @@ class ChannelMatrix:
 
     def __init__(self, tracer: Optional[object] = None):
         self.channels: Dict[Tuple[str, str], Channel] = {}
-        self._incoming_cache: Dict[str, List[Channel]] = {}
+        self._incoming_cache: Dict[str, Tuple[Channel, ...]] = {}
         self.tracer = tracer
+        self.adversary = None
 
     def channel(self, src: str, dst: str) -> Channel:
         key = (src, dst)
         ch = self.channels.get(key)
         if ch is None:
             ch = self.channels[key] = Channel(src, dst, self.tracer)
+            ch.adversary = self.adversary
             self._incoming_cache.pop(dst, None)
         return ch
 
@@ -181,11 +297,21 @@ class ChannelMatrix:
         for ch in self.channels.values():
             ch.tracer = tracer
 
-    def incoming(self, dst: str) -> List[Channel]:
+    def set_adversary(self, adversary: Optional[object]) -> None:
+        """Attach/detach a channel adversary (chaos harness) on this
+        matrix and every existing channel (new channels inherit it)."""
+        self.adversary = adversary
+        for ch in self.channels.values():
+            ch.adversary = adversary
+
+    def incoming(self, dst: str) -> Tuple[Channel, ...]:
+        """Channels delivering to ``dst``, as an immutable tuple — the
+        cache is handed out directly on the scheduler fast path, so it
+        must not be mutable by callers."""
         cached = self._incoming_cache.get(dst)
         if cached is None:
-            cached = [c for (s, d), c in sorted(self.channels.items())
-                      if d == dst]
+            cached = tuple(c for (s, d), c
+                           in sorted(self.channels.items()) if d == dst)
             self._incoming_cache[dst] = cached
         return cached
 

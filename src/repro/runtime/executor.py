@@ -24,7 +24,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import RuntimeFault
+from repro.errors import (
+    DeadlockFault,
+    RuntimeFault,
+    WatchdogTimeout,
+)
 from repro.core.partition import PartitionedProgram
 from repro.ir.interp import (
     BLOCK,
@@ -33,6 +37,7 @@ from repro.ir.interp import (
     PushCall,
 )
 from repro.runtime.channel import ChannelMatrix, Message, SpawnMessage
+from repro.runtime.iago import install_iago_guards
 
 
 def _parked_runnable(parked) -> bool:
@@ -57,6 +62,8 @@ class WorkerGroup:
         self.runtime = runtime
         self.group_id = group_id
         self.matrix = ChannelMatrix(runtime.tracer)
+        if runtime.fault_injector is not None:
+            self.matrix.set_adversary(runtime.fault_injector)
         #: color -> worker context (the untrusted "worker" is the
         #: application thread itself and is not stored here)
         self.workers: Dict[str, ExecutionContext] = {}
@@ -122,15 +129,24 @@ class PrivagicRuntime:
     def __init__(self, program: PartitionedProgram,
                  externals: Optional[dict] = None,
                  max_steps: int = 5_000_000,
-                 engine: Optional[str] = None):
+                 engine: Optional[str] = None,
+                 watchdog_steps: Optional[int] = None):
         self.program = program
         self.untrusted = program.untrusted
         self.stats = RuntimeStats()
         self.max_steps = max_steps
+        #: Optional per-context step budget.  ``max_steps`` bounds the
+        #: whole run; this bounds each context, so one spinning worker
+        #: is reported as such instead of exhausting the global budget.
+        self.watchdog_steps = watchdog_steps
         #: Optional :class:`repro.obs.tracer.Tracer`, installed by
         #: :class:`repro.obs.observe.Observability`; ``None`` keeps
         #: every runtime path free of observer work.
         self.tracer = None
+        #: Optional :class:`repro.faults.FaultInjector` (the chaos
+        #: harness), installed by ``FaultInjector.attach``; ``None``
+        #: on the honest path.
+        self.fault_injector = None
         self._groups: Dict[int, WorkerGroup] = {}
         self._next_group = 1
         ext = {
@@ -145,6 +161,11 @@ class PrivagicRuntime:
             ext.update(externals)
         self.machine = Machine(program.all_modules(), ext,
                                engine=engine)
+        # Postcondition guards on the untrusted externals (Iago
+        # defense, see repro.runtime.iago).  Installed unconditionally:
+        # the honest handlers always pass, and a fault injector relies
+        # on them to *detect* the corruption it introduces.
+        install_iago_guards(self)
 
     # -- group / color helpers ----------------------------------------------------
 
@@ -266,6 +287,7 @@ class PrivagicRuntime:
         """
         chunk = message.chunk
         chunk_fn = self.machine.function_named(chunk)
+        me = self.program.chunk_colors.get(chunk, self.untrusted)
         arg_colors = self.program.chunk_args.get(chunk, ())
         if len(arg_colors) != len(chunk_fn.args):
             raise RuntimeFault(
@@ -278,6 +300,12 @@ class PrivagicRuntime:
                 f"spawn of chunk {chunk!r}: carries "
                 f"{len(message.args)} F value(s) but the signature "
                 f"has {f_slots} F slot(s)")
+        if self.fault_injector is not None:
+            # Enclave fault injection fires at the spawn-delivery
+            # boundary — before the chunk's first instruction — so a
+            # restart can replay the exact same spawn (raises
+            # EnclaveCrash when the worker stays down).
+            self.fault_injector.on_spawn_delivery(me, chunk)
         f_values = list(message.args)
         call_args: List[object] = [
             f_values.pop(0) if color == "F" else 0
@@ -285,7 +313,6 @@ class PrivagicRuntime:
         push = PushCall(chunk_fn, call_args, replay=True)
         self.stats.trampoline_runs += 1
         self.stats.chunk_event(chunk, "trampolines")
-        me = self.program.chunk_colors.get(chunk, self.untrusted)
         if self.tracer is not None:
             self.tracer.trampoline(chunk, me)
         if message.reply_to is not None:
@@ -397,8 +424,7 @@ class PrivagicRuntime:
                 ctx.step()
                 steps += 1
                 if steps > self.max_steps:
-                    raise RuntimeFault(
-                        f"partitioned run exceeded {self.max_steps} steps")
+                    self._global_timeout()
                 if ctx.steps > before or ctx.finished:
                     progressed = True
                     if not ctx.finished:
@@ -407,9 +433,11 @@ class PrivagicRuntime:
                             contexts)
                         steps += burst
                         if steps > self.max_steps:
-                            raise RuntimeFault(
-                                f"partitioned run exceeded "
-                                f"{self.max_steps} steps")
+                            self._global_timeout()
+                if (self.watchdog_steps is not None
+                        and not ctx.finished
+                        and ctx.steps > self.watchdog_steps):
+                    self._watchdog_timeout(ctx)
             if not progressed:
                 self._report_deadlock()
 
@@ -426,8 +454,23 @@ class PrivagicRuntime:
                 return False
         return True
 
-    def _report_deadlock(self) -> None:
-        lines = ["partitioned execution deadlocked:"]
+    def _note_detect(self, kind: str, args: Dict[str, object]) -> None:
+        """Record a runtime-side fault detection with the injector
+        counters and the tracer before a typed fault is raised."""
+        injector = self.fault_injector
+        if injector is not None:
+            injector.on_detect(kind, args)
+        tracer = self.tracer
+        if tracer is not None:
+            fault = getattr(tracer, "fault", None)
+            if fault is not None:
+                fault("detect", kind, args)
+
+    def _context_lines(self) -> List[str]:
+        """One diagnostic line per live context: current location,
+        step count, and — for parked contexts — the awaited
+        ``(src, kind)`` that would unblock them."""
+        lines: List[str] = []
         for ctx in self.machine.contexts:
             if ctx.finished:
                 continue
@@ -439,13 +482,50 @@ class PrivagicRuntime:
                          else None)
                 where = (f"@{frame.function.name}:{frame.block.name} "
                          f"{instr.opcode if instr else '?'}")
-            lines.append(f"  {ctx.name} mode={ctx.mode}: {where}")
+            parked = getattr(ctx, "privagic_parked", None)
+            if parked is not None:
+                _group, _me, src, kind = parked
+                where += f" [parked on ({src!r}, {kind!r})]"
+            lines.append(f"  {ctx.name} mode={ctx.mode} "
+                         f"steps={ctx.steps}: {where}")
+        return lines
+
+    def _channel_lines(self) -> List[str]:
+        """One diagnostic line per non-empty channel: pending counts
+        broken down by kind, plus the head of the queue."""
+        lines: List[str] = []
         for group in self._groups.values():
-            for key, channel in sorted(group.matrix.channels.items()):
+            for _key, channel in sorted(group.matrix.channels.items()):
                 if len(channel):
-                    lines.append(f"  pending {channel!r}: "
-                                 f"{list(channel.queue)[:4]}")
-        raise RuntimeFault("\n".join(lines))
+                    by_kind = {
+                        kind: channel.pending(kind)
+                        for kind in ("spawn", "value", "token")
+                        if channel.pending(kind)}
+                    lines.append(
+                        f"  pending {channel!r} by-kind={by_kind}: "
+                        f"head={channel.queue[:3]}")
+        return lines
+
+    def _global_timeout(self) -> None:
+        self._note_detect("watchdog", {"scope": "run"})
+        raise WatchdogTimeout(
+            f"partitioned run exceeded {self.max_steps} steps")
+
+    def _watchdog_timeout(self, ctx: ExecutionContext) -> None:
+        self._note_detect("watchdog", {"scope": "context",
+                                       "context": ctx.name})
+        lines = [f"context {ctx.name} exceeded its watchdog budget of "
+                 f"{self.watchdog_steps} step(s):"]
+        lines += self._context_lines()
+        lines += self._channel_lines()
+        raise WatchdogTimeout("\n".join(lines))
+
+    def _report_deadlock(self) -> None:
+        self._note_detect("deadlock", {})
+        lines = ["partitioned execution deadlocked:"]
+        lines += self._context_lines()
+        lines += self._channel_lines()
+        raise DeadlockFault("\n".join(lines))
 
 
 def run_partitioned(program: PartitionedProgram, entry: str = "main",
@@ -453,7 +533,9 @@ def run_partitioned(program: PartitionedProgram, entry: str = "main",
                     externals: Optional[dict] = None,
                     max_steps: int = 5_000_000,
                     engine: Optional[str] = None,
-                    observability=None
+                    observability=None,
+                    watchdog_steps: Optional[int] = None,
+                    fault_injector=None
                     ) -> Tuple[object, PrivagicRuntime]:
     """Convenience wrapper: load, run, return (result, runtime).
 
@@ -462,14 +544,21 @@ def run_partitioned(program: PartitionedProgram, entry: str = "main",
     ``observability`` is an optional :class:`repro.obs.Observability`
     attached for the duration of the run and detached afterwards
     (also on error), so its trace and metrics cover exactly this run.
+    ``fault_injector`` is an optional :class:`repro.faults.
+    FaultInjector` attached the same way (after observability, so its
+    events reach the tracer).
     """
-    runtime = PrivagicRuntime(program, externals, max_steps, engine)
+    runtime = PrivagicRuntime(program, externals, max_steps, engine,
+                              watchdog_steps=watchdog_steps)
     if observability is not None:
         observability.attach(runtime)
-        try:
-            result = runtime.run(entry, args)
-        finally:
-            observability.detach()
-    else:
+    if fault_injector is not None:
+        fault_injector.attach(runtime)
+    try:
         result = runtime.run(entry, args)
+    finally:
+        if fault_injector is not None:
+            fault_injector.detach()
+        if observability is not None:
+            observability.detach()
     return result, runtime

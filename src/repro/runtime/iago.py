@@ -1,0 +1,172 @@
+"""Iago-hardened wrappers for the untrusted external interface.
+
+An Iago attack (paper §4; Checkoway & Shacham) has the untrusted OS /
+libc return a hostile value — ``malloc`` handing back a pointer into
+memory the enclave already uses, ``strlen`` reporting a wrong length —
+so that correct enclave code corrupts itself.  Privagic's type system
+keeps such values F-typed, and the runtime backs that up dynamically:
+every external with a checkable postcondition gets a guard that
+validates the return value *before* the calling context consumes it.
+A violation raises :class:`~repro.errors.IagoFault` naming the
+external, so injected corruption (see :mod:`repro.faults`) is detected
+at the boundary instead of silently corrupting the run.
+
+Guarded postconditions:
+
+================  ====================================================
+``malloc``        result is the base of a live allocation of at least
+``__privagic_     the requested size, never handed out before (a
+alloc``           replayed pointer would alias live memory)
+``strlen``        result is non-negative, the slot at ``addr+result``
+                  is NUL and the preceding slot is not
+``memcpy`` /      result is the destination pointer
+``memset`` /
+``strncpy``
+================  ====================================================
+
+The checks are exposed separately from the installer so the fault
+injector can re-run them against a deliberately corrupted result
+(guard-outside-corruption ordering: ``check(perturb(raw))``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import IagoFault, RuntimeFault
+
+#: Check signature: (runtime, machine, ctx, args, result) -> None,
+#: raising IagoFault when the result violates the postcondition.
+GuardCheck = Callable[[object, object, object, List[object], object],
+                      None]
+
+
+def _detected(runtime, name: str, detail: str) -> None:
+    """Record the detection (injector counter + trace event), then
+    raise the typed fault."""
+    injector = getattr(runtime, "fault_injector", None)
+    if injector is not None:
+        injector.on_detect("iago-retval", {"external": name})
+    tracer = getattr(runtime, "tracer", None)
+    if tracer is not None:
+        fault = getattr(tracer, "fault", None)
+        if fault is not None:
+            fault("detect", "iago-retval", {"external": name})
+    raise IagoFault(f"iago check failed for @{name}: {detail}")
+
+
+def _fresh_bases(machine) -> set:
+    bases = getattr(machine, "_iago_fresh_bases", None)
+    if bases is None:
+        bases = machine._iago_fresh_bases = set()
+    return bases
+
+
+def _check_alloc(runtime, machine, ctx, args, result,
+                 name: str, size: int) -> None:
+    bases = _fresh_bases(machine)
+    if not isinstance(result, int) or result <= 0:
+        _detected(runtime, name, f"returned non-pointer {result!r}")
+    if result in bases:
+        _detected(runtime, name,
+                  f"returned a previously allocated pointer {result} "
+                  f"(replayed allocation would alias live memory)")
+    try:
+        allocation = machine.memory.allocation_at(result)
+    except RuntimeFault:
+        _detected(runtime, name, f"returned wild pointer {result}")
+    if allocation.base != result:
+        _detected(runtime, name,
+                  f"returned interior pointer {result} into "
+                  f"{allocation!r}")
+    if allocation.size < size:
+        _detected(runtime, name,
+                  f"allocation of {allocation.size} slot(s) is smaller "
+                  f"than the {size} requested")
+    bases.add(result)
+
+
+def check_malloc(runtime, machine, ctx, args, result) -> None:
+    _check_alloc(runtime, machine, ctx, args, result, "malloc",
+                 int(args[0]))
+
+
+def check_privagic_alloc(runtime, machine, ctx, args, result) -> None:
+    _check_alloc(runtime, machine, ctx, args, result,
+                 "__privagic_alloc", int(args[1]))
+
+
+def check_strlen(runtime, machine, ctx, args, result) -> None:
+    addr = int(args[0])
+    if not isinstance(result, int) or result < 0:
+        _detected(runtime, "strlen", f"returned {result!r}")
+    try:
+        terminator = machine.memory.read(addr + result)
+        last = machine.memory.read(addr + result - 1) if result else 1
+    except RuntimeFault:
+        _detected(runtime, "strlen",
+                  f"length {result} points outside the allocation")
+    if terminator != 0 or last == 0:
+        _detected(runtime, "strlen",
+                  f"length {result} does not match the NUL terminator")
+
+
+def _check_returns_dst(runtime, machine, ctx, args, result,
+                       name: str) -> None:
+    if result != int(args[0]):
+        _detected(runtime, name,
+                  f"returned {result!r} instead of the destination "
+                  f"pointer {int(args[0])}")
+
+
+def check_memcpy(runtime, machine, ctx, args, result) -> None:
+    _check_returns_dst(runtime, machine, ctx, args, result, "memcpy")
+
+
+def check_memset(runtime, machine, ctx, args, result) -> None:
+    _check_returns_dst(runtime, machine, ctx, args, result, "memset")
+
+
+def check_strncpy(runtime, machine, ctx, args, result) -> None:
+    _check_returns_dst(runtime, machine, ctx, args, result, "strncpy")
+
+
+#: External name -> postcondition check.
+GUARDS: Dict[str, GuardCheck] = {
+    "malloc": check_malloc,
+    "__privagic_alloc": check_privagic_alloc,
+    "strlen": check_strlen,
+    "memcpy": check_memcpy,
+    "memset": check_memset,
+    "strncpy": check_strncpy,
+}
+
+
+def verify_external_result(runtime, name, machine, ctx, args,
+                           result) -> None:
+    """Re-run the postcondition for ``name`` against ``result`` (used
+    by the fault injector after corrupting a return value); a no-op
+    for externals without a guard."""
+    check = GUARDS.get(name)
+    if check is not None:
+        check(runtime, machine, ctx, args, result)
+
+
+def install_iago_guards(runtime) -> None:
+    """Wrap every guarded external of the runtime's machine with its
+    postcondition check.  Idempotent per runtime; the wrapped handler
+    passes BLOCK / PushCall sentinels through untouched."""
+    machine = runtime.machine
+    for name, check in GUARDS.items():
+        handler = machine.externals.get(name)
+        if handler is None or getattr(handler, "_iago_guard", False):
+            continue
+
+        def guarded(machine, ctx, args, _raw=handler, _check=check):
+            result = _raw(machine, ctx, args)
+            if isinstance(result, (int, float)):
+                _check(runtime, machine, ctx, args, result)
+            return result
+
+        guarded._iago_guard = True
+        machine.externals[name] = guarded

@@ -47,6 +47,45 @@ class Enclave:
                 f"{self.measurement[:12]}...>")
 
 
+class EnclaveFaultModel:
+    """Crash/restart accounting for simulated asynchronous enclave
+    exits (AEX).
+
+    Real SGX enclaves can be killed at any instruction by the
+    untrusted OS; Privagic's protocol only promises that such a crash
+    is *detected*, never silently absorbed.  The simulator injects
+    crashes at the spawn-delivery boundary — before the chunk's first
+    instruction has run — because that is the one window where a
+    restart can replay the pending spawn exactly (no partial writes to
+    roll back; mid-chunk crashes always take the abort path).
+
+    :meth:`crash` decides the outcome of one injected crash: ``True``
+    means the worker came back up (bounded by ``max_restarts`` per
+    color) and the spawn should be replayed; ``False`` means the
+    worker stays down and the caller must raise
+    :class:`~repro.errors.EnclaveCrash`.
+    """
+
+    def __init__(self, max_restarts: int = 3):
+        self.max_restarts = max_restarts
+        #: color -> injected crash count
+        self.crashes: Dict[str, int] = {}
+        #: color -> successful restart count
+        self.restarts: Dict[str, int] = {}
+
+    def crash(self, color: str, chunk: str, recover: bool) -> bool:
+        """Record a simulated AEX of ``color`` while delivering
+        ``chunk``; returns whether the worker recovered."""
+        self.crashes[color] = self.crashes.get(color, 0) + 1
+        if not recover:
+            return False
+        used = self.restarts.get(color, 0)
+        if used >= self.max_restarts:
+            return False
+        self.restarts[color] = used + 1
+        return True
+
+
 class EnclaveManager:
     """Tracks the enclaves of a machine and their EPC occupancy."""
 

@@ -1,0 +1,182 @@
+"""The channel adversary (tentpole a): drop, duplicate, reorder and
+corrupt in-flight messages, and prove each manipulation is either
+harmless or detected — at the channel layer and through full runs."""
+
+import pytest
+
+from repro.core.colors import RELAXED
+from repro.core.compiler import compile_and_partition
+from repro.errors import (
+    DeadlockFault,
+    EnclaveCrash,
+    IagoFault,
+    RuntimeFault,
+    WatchdogTimeout,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.runtime.channel import Channel, Message
+from repro.runtime.executor import PrivagicRuntime
+
+TYPED = (DeadlockFault, IagoFault, EnclaveCrash, WatchdogTimeout)
+
+SOURCE = """
+    int unsafe_g = 0;
+    int color(blue) blue_g = 10;
+    int color(red) red_g = 0;
+    void g(int n) { blue_g = n; red_g = n; }
+    int f(int y) { g(21); return 42; }
+    entry int main() { unsafe_g = 1; int x = f(blue_g); return x; }
+"""
+
+
+def _injected_channel(spec):
+    injector = FaultInjector(FaultPlan.parse(spec))
+    channel = Channel("U", "green")
+    channel.adversary = injector
+    return channel, injector
+
+
+# -- channel-layer semantics --------------------------------------------------
+
+
+def test_drop_removes_the_message():
+    channel, injector = _injected_channel("channel-drop:U->green:value:1")
+    channel.push(Message("value", 1))
+    assert channel.pending() == 0
+    assert injector.injected == {"channel-drop": 1}
+    # Single-shot: the next message sails through ...
+    channel.push(Message("value", 2))
+    assert channel.pending() == 1
+    # ... but its sequence number betrays the earlier drop.
+    with pytest.raises(IagoFault, match="dropped or reordered"):
+        channel.pop("value")
+    assert injector.detected.get("channel-gap") == 1
+
+
+def test_duplicate_is_detected_as_replay():
+    channel, injector = _injected_channel("channel-dup:U->green:value:1")
+    channel.push(Message("value", 7))
+    assert channel.pending() == 2
+    assert channel.pop("value").value == 7
+    with pytest.raises(IagoFault, match="replayed"):
+        channel.pop("value")
+    assert injector.detected.get("channel-replay") == 1
+
+
+def test_corrupt_fails_authentication():
+    channel, injector = _injected_channel(
+        "channel-corrupt:U->green:value:1")
+    channel.push(Message("value", 41))
+    with pytest.raises(IagoFault, match="failed authentication"):
+        channel.pop("value")
+    assert injector.injected == {"channel-corrupt": 1}
+    assert injector.detected.get("channel-corrupt") == 1
+
+
+def test_reorder_swaps_with_the_next_send():
+    channel, injector = _injected_channel(
+        "channel-reorder:U->green:value:1")
+    channel.push(Message("value", 1))
+    assert channel.pending() == 0  # withheld
+    channel.push(Message("value", 2))
+    assert channel.pending() == 2
+    # Physical delivery order is swapped: the newer message is at the
+    # head of the deque (the `queue` debug view re-sorts by seq).
+    assert [m.value for m in channel._queues["value"]] == [2, 1]
+    with pytest.raises(IagoFault, match="dropped or reordered"):
+        channel.pop("value")
+
+
+def test_nth_counts_matching_messages_only():
+    channel, injector = _injected_channel("channel-drop:*:token:2")
+    channel.push(Message("value", 1))  # kind mismatch: not counted
+    channel.push(Message("token"))
+    channel.push(Message("token"))    # the 2nd token: dropped
+    channel.push(Message("token"))
+    assert channel.pending("value") == 1
+    assert channel.pending("token") == 2
+    assert injector.injected == {"channel-drop": 1}
+
+
+# -- full-run outcomes --------------------------------------------------------
+
+
+def _run_injected(spec, engine=None):
+    program = compile_and_partition(SOURCE, mode=RELAXED)
+    runtime = PrivagicRuntime(program, engine=engine)
+    injector = FaultInjector(FaultPlan.parse(spec)).attach(runtime)
+    try:
+        return runtime.run("main"), injector
+    finally:
+        injector.detach()
+
+
+@pytest.mark.parametrize("engine", ["decoded", "legacy"])
+@pytest.mark.parametrize("action", ["drop", "dup", "corrupt",
+                                    "reorder"])
+def test_every_channel_manipulation_is_typed_or_identical(action,
+                                                          engine):
+    """The chaos contract on each primitive: a manipulated spawn
+    either leaves the result identical or raises a typed fault."""
+    spec = f"channel-{action}:*:spawn:1"
+    try:
+        result, injector = _run_injected(spec, engine)
+    except RuntimeFault as fault:
+        assert isinstance(fault, TYPED), \
+            f"untyped fault for {spec}: {fault!r}"
+    else:
+        assert result == 42
+        assert injector.injected_total() == 1
+
+
+def test_dropped_spawn_deadlocks_with_diagnostics():
+    with pytest.raises(DeadlockFault) as excinfo:
+        _run_injected("channel-drop:*:spawn:1")
+    assert "parked on" in str(excinfo.value)
+
+
+def test_corrupted_spawn_is_never_executed():
+    """A corrupted spawn must be rejected by authentication before
+    the chunk runs — the colored globals keep their initial values."""
+    program = compile_and_partition(SOURCE, mode=RELAXED)
+    runtime = PrivagicRuntime(program)
+    injector = FaultInjector(
+        FaultPlan.parse("channel-corrupt:*:spawn:1")).attach(runtime)
+    with pytest.raises(IagoFault, match="failed authentication"):
+        runtime.run("main")
+    assert injector.detected.get("channel-corrupt") == 1
+
+
+# -- enclave faults -----------------------------------------------------------
+
+
+def test_enclave_crash_is_typed():
+    with pytest.raises(EnclaveCrash, match="crashed \\(AEX\\)"):
+        _run_injected("enclave-crash:*:1")
+
+
+def test_enclave_restart_replays_exactly():
+    result, injector = _run_injected("enclave-restart:*:1")
+    assert result == 42
+    assert injector.injected == {"enclave-restart": 1}
+    assert sum(injector.model.restarts.values()) == 1
+
+
+def test_enclave_restart_budget_exhaustion_crashes():
+    """Crashing the same color more often than max_restarts allows
+    must end in EnclaveCrash, not an infinite crash loop."""
+    program = compile_and_partition(SOURCE, mode=RELAXED)
+    runtime = PrivagicRuntime(program)
+    plan = FaultPlan([
+        # One restart entry per delivery of the blue chunk; the model
+        # allows 0 restarts, so the first crash is final.
+        *(FaultPlan.parse("enclave-restart:blue:1").entries),
+    ])
+    from repro.sgx.enclave import EnclaveFaultModel
+    injector = FaultInjector(
+        plan, fault_model=EnclaveFaultModel(max_restarts=0))
+    injector.attach(runtime)
+    with pytest.raises(EnclaveCrash):
+        runtime.run("main")
+    assert injector.model.crashes.get("blue") == 1
+    assert not injector.model.restarts

@@ -1,0 +1,162 @@
+"""Iago postcondition guards (tentpole b): hostile return values from
+untrusted externals must be detected at the boundary, and the
+injector's corruption must go through the same checks."""
+
+import pytest
+
+from repro.core.colors import RELAXED
+from repro.core.compiler import compile_and_partition
+from repro.errors import IagoFault
+from repro.faults import FaultInjector, FaultPlan
+from repro.runtime.executor import PrivagicRuntime
+from repro.runtime.iago import GUARDS, verify_external_result
+
+SOURCE = """
+    int color(blue) blue_g = 10;
+    void g(int n) { blue_g = n; }
+    entry int main() { g(21); return 42; }
+"""
+
+PRINTING = """
+    int color(blue) blue_g = 10;
+    void g(int n) { blue_g = n; }
+    entry int main() { g(21); printf("ok\\n"); return 42; }
+"""
+
+
+@pytest.fixture
+def runtime():
+    program = compile_and_partition(SOURCE, mode=RELAXED)
+    return PrivagicRuntime(program)
+
+
+def test_guards_installed_on_runtime_machines(runtime):
+    for name in GUARDS:
+        handler = runtime.machine.externals[name]
+        assert getattr(handler, "_iago_guard", False), name
+
+
+def _app_ctx(runtime):
+    return runtime.start("main")
+
+
+def test_honest_malloc_passes(runtime):
+    ctx = _app_ctx(runtime)
+    base = runtime.machine.externals["malloc"](
+        runtime.machine, ctx, [8])
+    assert isinstance(base, int) and base > 0
+
+
+def test_malloc_wild_pointer_is_detected(runtime):
+    ctx = _app_ctx(runtime)
+    with pytest.raises(IagoFault, match="wild pointer"):
+        verify_external_result(runtime, "malloc", runtime.machine,
+                               ctx, [8], 0x7FFF0000)
+
+
+def test_malloc_interior_pointer_is_detected(runtime):
+    machine = runtime.machine
+    ctx = _app_ctx(runtime)
+    base = machine.externals["malloc"](machine, ctx, [8])
+    with pytest.raises(IagoFault, match="interior pointer"):
+        verify_external_result(runtime, "malloc", machine, ctx, [8],
+                               base + 2)
+
+
+def test_malloc_undersized_allocation_is_detected(runtime):
+    machine = runtime.machine
+    ctx = _app_ctx(runtime)
+    # Allocate below the guard so the base is not in the freshness
+    # set — the size check is what must trip.
+    base = machine.memory.alloc(4, machine.stack_region(ctx), "heap")
+    with pytest.raises(IagoFault, match="smaller"):
+        verify_external_result(runtime, "malloc", machine, ctx, [64],
+                               base)
+
+
+def test_malloc_replayed_pointer_is_detected(runtime):
+    """Handing out the same allocation twice would alias live enclave
+    memory — the freshness set catches the replay."""
+    machine = runtime.machine
+    ctx = _app_ctx(runtime)
+    base = machine.externals["malloc"](machine, ctx, [8])
+    with pytest.raises(IagoFault, match="previously allocated"):
+        verify_external_result(runtime, "malloc", machine, ctx, [8],
+                               base)
+
+
+def test_strlen_wrong_length_is_detected(runtime):
+    machine = runtime.machine
+    ctx = _app_ctx(runtime)
+    addr = machine.intern_string("hello")
+    honest = machine.externals["strlen"](machine, ctx, [addr])
+    assert honest == 5
+    for bad in (3, 4, 6):
+        with pytest.raises(IagoFault):
+            verify_external_result(runtime, "strlen", machine, ctx,
+                                   [addr], bad)
+
+
+def test_memcpy_wrong_return_is_detected(runtime):
+    machine = runtime.machine
+    ctx = _app_ctx(runtime)
+    dst = machine.externals["malloc"](machine, ctx, [4])
+    src = machine.externals["malloc"](machine, ctx, [4])
+    assert machine.externals["memcpy"](machine, ctx,
+                                       [dst, src, 4]) == dst
+    with pytest.raises(IagoFault, match="destination"):
+        verify_external_result(runtime, "memcpy", machine, ctx,
+                               [dst, src, 4], src)
+
+
+# -- injected Iago corruption -------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["offset", "huge", "negative",
+                                  "zero", "replay"])
+def test_injected_malloc_corruption_is_always_detected(mode):
+    """Every corruption mode on a guarded external must raise
+    IagoFault at the call, before the program consumes the pointer."""
+    program = compile_and_partition(SOURCE, mode=RELAXED)
+    runtime = PrivagicRuntime(program)
+    injector = FaultInjector(
+        FaultPlan.parse(f"iago-retval:malloc:2:{mode}"))
+    injector.attach(runtime)
+    machine = runtime.machine
+    ctx = runtime.start("main")
+    machine.externals["malloc"](machine, ctx, [8])  # honest: cached
+    with pytest.raises(IagoFault, match="iago check failed"):
+        machine.externals["malloc"](machine, ctx, [8])
+    assert injector.injected == {"iago-retval": 1}
+    assert injector.detected.get("iago-retval") == 1
+
+
+@pytest.mark.parametrize("engine", ["decoded", "legacy"])
+def test_corrupting_an_unused_return_is_harmless(engine):
+    """printf's return value is unused: corrupting it must leave the
+    run identical — the 'identical' arm of the chaos contract."""
+    program = compile_and_partition(PRINTING, mode=RELAXED)
+    runtime = PrivagicRuntime(program, engine=engine)
+    injector = FaultInjector(
+        FaultPlan.parse("iago-retval:printf:1:huge")).attach(runtime)
+    result = runtime.run("main")
+    assert result == 42
+    assert runtime.machine.stdout == "ok\n"
+    assert injector.injected == {"iago-retval": 1}
+
+
+def test_wildcard_iago_only_reaches_guarded_externals():
+    program = compile_and_partition(PRINTING, mode=RELAXED)
+    runtime = PrivagicRuntime(program)
+    injector = FaultInjector(FaultPlan.parse("iago-retval:*:1"))
+    injector.attach(runtime)
+    assert set(injector._wrapped) == set(GUARDS) & \
+        set(runtime.machine.externals)
+    # printf is not guarded, so the wildcard never corrupts it.
+    result = runtime.run("main")
+    assert result == 42 and runtime.machine.stdout == "ok\n"
+    injector.detach()
+    for name in GUARDS:
+        handler = runtime.machine.externals.get(name)
+        if handler is not None:
+            assert not getattr(handler, "_iago_injector", False)

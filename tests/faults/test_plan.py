@@ -1,0 +1,97 @@
+"""FaultPlan grammar and seeded-plan determinism."""
+
+import pytest
+
+from repro.faults.plan import (
+    FaultEntry,
+    FaultPlan,
+    FaultSpecError,
+    RANDOM_IAGO_TARGETS,
+)
+
+
+def test_parse_channel_entry():
+    plan = FaultPlan.parse("channel-drop:U->green:spawn:2")
+    (entry,) = plan.entries
+    assert entry.action == "channel-drop"
+    assert (entry.src, entry.dst) == ("U", "green")
+    assert entry.msg_kind == "spawn"
+    assert entry.nth == 2
+
+
+def test_parse_wildcard_route_and_kind():
+    plan = FaultPlan.parse("channel-corrupt:*:*:1")
+    (entry,) = plan.entries
+    assert (entry.src, entry.dst, entry.msg_kind) == ("*", "*", "*")
+
+
+def test_parse_iago_entry_with_and_without_mode():
+    plan = FaultPlan.parse("iago-retval:malloc:1:replay,"
+                           "iago-retval:strlen:3")
+    first, second = plan.entries
+    assert first.target == "malloc" and first.mode == "replay"
+    assert second.target == "strlen" and second.mode == "offset"
+    assert second.nth == 3
+
+
+def test_parse_enclave_entries():
+    plan = FaultPlan.parse("enclave-crash:green:1,enclave-restart:*:2")
+    crash, restart = plan.entries
+    assert crash.action == "enclave-crash" and crash.target == "green"
+    assert restart.action == "enclave-restart" and restart.nth == 2
+
+
+def test_spec_roundtrips():
+    spec = ("channel-drop:U->green:spawn:2,channel-corrupt:*:value:1,"
+            "iago-retval:malloc:1:replay,enclave-crash:green:1")
+    assert FaultPlan.parse(spec).spec() == spec
+
+
+@pytest.mark.parametrize("bad,fragment", [
+    ("flip-bits:x:1", "unknown fault action"),
+    ("channel-drop:U->green:spawn", "expected"),
+    ("channel-drop:Ugreen:spawn:1", "route"),
+    ("channel-drop:U->green:mail:1", "unknown message kind"),
+    ("channel-drop:U->green:spawn:zero", "not an integer"),
+    ("channel-drop:U->green:spawn:0", ">= 1"),
+    ("iago-retval:malloc:1:sideways", "unknown mode"),
+    ("enclave-crash:green", "expected"),
+    ("", "empty fault spec"),
+])
+def test_bad_specs_raise(bad, fragment):
+    with pytest.raises(FaultSpecError, match=fragment):
+        FaultPlan.parse(bad)
+
+
+def test_random_plans_are_deterministic_per_seed():
+    colors = ["blue", "red"]
+    a = FaultPlan.random(7, colors)
+    b = FaultPlan.random(7, colors)
+    assert a.spec() == b.spec()
+    assert any(FaultPlan.random(s, colors).spec() != a.spec()
+               for s in range(8, 16))
+
+
+def test_random_iago_targets_are_guarded_only():
+    """Random plans must only corrupt guarded externals, where the
+    corruption is detectable by construction."""
+    for seed in range(64):
+        for entry in FaultPlan.random(seed, ["blue"]).entries:
+            if entry.action == "iago-retval":
+                assert entry.target in RANDOM_IAGO_TARGETS
+
+
+def test_entry_fires_once_and_reset_rearms():
+    plan = FaultPlan.parse("channel-drop:*:value:2")
+    (entry,) = plan.entries
+    entry.matched = 2
+    entry.fired = True
+    assert plan.fired() == [entry]
+    plan.reset()
+    assert entry.matched == 0 and not entry.fired
+    assert plan.fired() == []
+
+
+def test_entry_rejects_nonpositive_nth():
+    with pytest.raises(FaultSpecError):
+        FaultEntry("channel-drop", nth=0)

@@ -1,0 +1,62 @@
+"""Fault events flow through the observability layer: injections and
+detections land on the tracer's ``faults`` track as schema-valid
+Chrome events, and ``publish()`` exposes the ``faults.*`` metrics."""
+
+import pytest
+
+from repro.core.colors import RELAXED
+from repro.core.compiler import compile_and_partition
+from repro.errors import IagoFault
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import Observability
+from repro.obs.export import trace_event_names, validate_chrome_trace
+from repro.runtime.executor import PrivagicRuntime
+
+SOURCE = """
+    int color(blue) blue_g = 10;
+    void g(int n) { blue_g = n; }
+    entry int main() { g(21); return 42; }
+"""
+
+
+@pytest.fixture(scope="module")
+def faulted_run():
+    """Attach obs + injector by hand (not via run_partitioned) so the
+    injector is still wired when publish() snapshots the metrics."""
+    program = compile_and_partition(SOURCE, mode=RELAXED)
+    runtime = PrivagicRuntime(program)
+    obs = Observability(trace=True, meter=True).attach(runtime)
+    injector = FaultInjector(
+        FaultPlan.parse("channel-corrupt:*:spawn:1")).attach(runtime)
+    with pytest.raises(IagoFault):
+        runtime.run("main")
+    return obs, injector
+
+
+def test_fault_events_are_schema_valid(faulted_run):
+    obs, _ = faulted_run
+    trace = obs.tracer.chrome_trace()
+    assert validate_chrome_trace(trace) > 0
+    names = trace_event_names(trace)
+    assert "inject" in names
+    assert "detect" in names
+    fault_events = [e for e in trace["traceEvents"]
+                    if e.get("cat") == "fault"]
+    assert fault_events
+    # every fault event is an instant on the faults track with a kind
+    for event in fault_events:
+        assert event["ph"] == "i"
+        assert event["args"]["kind"]
+
+
+def test_publish_exposes_fault_metrics(faulted_run):
+    obs, injector = faulted_run
+    reg = obs.publish()
+    assert reg["faults.armed"].get() == 1
+    assert reg["faults.injected"].get() == injector.injected_total()
+    assert reg["faults.detected"].get() == injector.detected_total()
+    assert reg["faults.injected[channel-corrupt]"].get() == 1
+    # the corrupted spawn was caught by channel authentication
+    detected = [name for name in reg.as_dict()
+                if name.startswith("faults.detected[")]
+    assert detected

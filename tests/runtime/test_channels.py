@@ -46,7 +46,7 @@ def test_matrix_per_pair_channels():
     assert matrix.channel("a", "b") is ab
     ab.push(Message("value", 1))
     assert matrix.pending() == 1
-    assert matrix.incoming("b") == [ab]
+    assert matrix.incoming("b") == (ab,)
     assert matrix.total_messages() == 1
 
 
@@ -188,3 +188,127 @@ def test_matrix_has_pending_by_kind():
     assert matrix.has_pending("S", "token")
     assert not matrix.has_pending("S", "spawn")
     assert not matrix.has_pending("blue")
+
+
+def test_queue_property_is_a_snapshot():
+    """Regression: ``Channel.queue`` must be a fresh list — mutating
+    it (observers, debuggers, injectors) must not change delivery."""
+    ch = Channel("a", "b")
+    ch.push(Message("value", 1))
+    ch.push(Message("value", 2))
+    view = ch.queue
+    assert [m.value for m in view] == [1, 2]
+    view.clear()
+    del view
+    assert ch.pending() == 2
+    assert ch.pop("value").value == 1
+    other = ch.queue
+    other.append(Message("value", 99))
+    assert ch.pending() == 1
+    assert ch.pop("value").value == 2
+    assert ch.pop("value") is None
+
+
+def test_matrix_incoming_is_immutable():
+    """Regression: ``ChannelMatrix.incoming`` hands out its cache on
+    the scheduler fast path — callers must not be able to mutate it."""
+    matrix = ChannelMatrix()
+    matrix.channel("a", "b")
+    view = matrix.incoming("b")
+    assert isinstance(view, tuple)
+    # A later channel registration must invalidate the cache.
+    cb = matrix.channel("c", "b")
+    assert cb in matrix.incoming("b")
+    assert len(matrix.incoming("b")) == 2
+
+
+def test_tampered_message_fails_authentication():
+    """A payload rewritten while queued in unsafe memory must be
+    detected at delivery, not absorbed (satellite: channel auth)."""
+    from repro.errors import IagoFault
+
+    ch = Channel("U", "green")
+    ch.push(Message("value", 41))
+    ch.queue[0].value = 42  # the adversary rewrites unsafe memory
+    with pytest.raises(IagoFault, match="failed authentication"):
+        ch.pop("value")
+
+
+def test_tampered_spawn_args_fail_authentication():
+    from repro.errors import IagoFault
+
+    ch = Channel("U", "green")
+    ch.push(SpawnMessage("g$F@green", [21], "U"))
+    ch.queue[0].args[0] = 22
+    with pytest.raises(IagoFault, match="failed authentication"):
+        ch.pop("spawn")
+
+
+def test_duplicate_delivery_is_a_replay():
+    """Re-delivering an already-delivered message (a dup injected
+    into unsafe memory) trips the per-kind sequence check."""
+    from repro.errors import IagoFault
+
+    ch = Channel("U", "green")
+    message = Message("value", 7)
+    ch.push(message)
+    assert ch.pop("value").value == 7
+    ch._enqueue(message)  # the adversary re-queues the old message
+    with pytest.raises(IagoFault, match="replayed"):
+        ch.pop("value")
+
+
+def test_dropped_message_is_a_gap():
+    """Losing a message from unsafe memory makes the next same-kind
+    delivery jump the sequence — detected as a gap."""
+    from repro.errors import IagoFault
+
+    ch = Channel("U", "green")
+    ch.push(Message("value", 1))
+    ch.push(Message("value", 2))
+    dropped = ch._queues["value"].popleft()  # adversary drops #1
+    ch.count -= 1
+    assert dropped.value == 1
+    with pytest.raises(IagoFault, match="dropped or reordered"):
+        ch.pop("value")
+
+
+def test_deadlock_report_names_parked_wait_and_pending_kinds():
+    """Satellite: the deadlock report must carry each parked
+    context's awaited (src, kind) and per-channel pending-by-kind
+    counts, and raise the typed DeadlockFault."""
+    from repro.errors import DeadlockFault
+    from repro.core.partition import PartitionedProgram
+    from repro.core.analysis import AnalysisResult
+    from repro.ir import Function, FunctionType, IRBuilder, Module, I64
+    from repro.ir.types import ArrayType, PointerType, I8
+    from repro.ir.values import Constant
+    from repro.runtime import PrivagicRuntime
+
+    module = Module("stuck")
+    recv = module.add_function(Function(
+        "__privagic_recv", FunctionType(I64, [PointerType(I8)]),
+        attributes=["extern"]))
+    send = module.add_function(Function(
+        "__privagic_send", FunctionType(I64, [PointerType(I8), I64]),
+        attributes=["extern"]))
+    fn = module.add_function(Function("main", FunctionType(I64, [])))
+    b = IRBuilder(fn.add_block("entry"))
+    # Send a value to a color nobody reads, then wait on one that
+    # never sends: the report must show both sides.
+    b.call(send, [Constant(ArrayType(I8, 4), "red"),
+                  Constant(I64, 7)])
+    value = b.call(recv, [Constant(ArrayType(I8, 5), "blue")])
+    b.ret(value)
+
+    analysis = AnalysisResult(module, "relaxed")
+    program = PartitionedProgram(analysis)
+    program.modules["S"] = module
+    runtime = PrivagicRuntime(program)
+    with pytest.raises(DeadlockFault) as excinfo:
+        runtime.run("main")
+    report = str(excinfo.value)
+    assert "deadlock" in report
+    assert "parked on ('blue', 'value')" in report
+    assert "by-kind={'value': 1}" in report
+    assert "S->red" in report

@@ -72,3 +72,37 @@ def test_well_formed_spawn_still_runs():
     result, runtime = run_partitioned(program, "main")
     assert result == 42
     assert runtime.stats.trampoline_runs >= 2
+
+
+# -- live-run loud-fault paths, pinned on both engines (satellite) ------------
+
+
+@pytest.mark.parametrize("engine", ["decoded", "legacy"])
+def test_f_arg_mismatch_faults_during_live_run(engine):
+    """Corrupting the partition metadata after compilation makes the
+    live trampoline see a signature mismatch — it must abort the run
+    loudly on either engine, not zero-pad."""
+    program = compile_and_partition(SOURCE, mode=RELAXED)
+    # g$F@red's one F slot becomes none: the in-flight spawn now
+    # carries one F value too many.
+    assert program.chunk_args["g$F@red"].count("F") == 1
+    program.chunk_args["g$F@red"] = tuple(
+        "U" if color == "F" else color
+        for color in program.chunk_args["g$F@red"])
+    runtime = PrivagicRuntime(program, engine=engine)
+    with pytest.raises(RuntimeFault,
+                       match="1 F value.*0 F slot"):
+        runtime.run("main")
+
+
+@pytest.mark.parametrize("engine", ["decoded", "legacy"])
+def test_unknown_chunk_spawn_faults_during_live_run(engine):
+    """Deleting a chunk's color mapping makes __privagic_spawn's
+    lookup fail mid-run — the loud path PR 2 added, now pinned on
+    both engines."""
+    program = compile_and_partition(SOURCE, mode=RELAXED)
+    del program.chunk_colors["g$F@red"]
+    runtime = PrivagicRuntime(program, engine=engine)
+    with pytest.raises(RuntimeFault,
+                       match="spawn of unknown chunk 'g\\$F@red'"):
+        runtime.run("main")

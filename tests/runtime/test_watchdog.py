@@ -1,0 +1,57 @@
+"""Per-context watchdog budgets (tentpole d): a context that spins
+past its step budget must fault loudly with stall diagnostics instead
+of silently burning the whole-run ``max_steps``."""
+
+import pytest
+
+from repro.core.colors import RELAXED
+from repro.core.compiler import compile_and_partition
+from repro.errors import WatchdogTimeout
+from repro.runtime.executor import PrivagicRuntime
+
+SPIN = """
+    int color(blue) blue_g = 1;
+    entry int main() {
+        int i = 0;
+        while (i < 100000) {
+            i = i + 1;
+        }
+        blue_g = i;
+        return 42;
+    }
+"""
+
+
+def _program():
+    return compile_and_partition(SPIN, mode=RELAXED)
+
+
+@pytest.mark.parametrize("engine", ["decoded", "legacy"])
+def test_watchdog_trips_on_a_spinning_context(engine):
+    runtime = PrivagicRuntime(_program(), engine=engine,
+                              watchdog_steps=500)
+    with pytest.raises(WatchdogTimeout) as excinfo:
+        runtime.run("main")
+    report = str(excinfo.value)
+    assert "watchdog budget of 500 step(s)" in report
+    assert "app.main" in report
+    assert "steps=" in report
+
+
+def test_generous_watchdog_does_not_fire():
+    runtime = PrivagicRuntime(_program(), watchdog_steps=10_000_000)
+    assert runtime.run("main") == 42
+
+
+def test_watchdog_default_off():
+    runtime = PrivagicRuntime(_program())
+    assert runtime.watchdog_steps is None
+    assert runtime.run("main") == 42
+
+
+def test_global_budget_is_a_watchdog_timeout():
+    """Exhausting max_steps is the same typed fault (the CLI maps it
+    to the watchdog exit code)."""
+    runtime = PrivagicRuntime(_program(), max_steps=50)
+    with pytest.raises(WatchdogTimeout, match="exceeded 50 steps"):
+        runtime.run("main")

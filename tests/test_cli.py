@@ -104,9 +104,13 @@ def test_run_engine_flag(fig7_file, capsys):
 
 
 def test_run_max_steps_exhaustion_is_an_error(fig7_file, capsys):
+    # Exhausting the step budget is a WatchdogTimeout: exit code 7
+    # and a structured one-line fault message.
     assert main(["run", "--mode", "relaxed", "--max-steps", "2",
-                 fig7_file]) == 1
-    assert "exceeded 2 steps" in capsys.readouterr().err
+                 fig7_file]) == 7
+    err = capsys.readouterr().err
+    assert "fault[WatchdogTimeout] exit=7:" in err
+    assert "exceeded 2 steps" in err
 
 
 def test_run_trace_writes_valid_chrome_json(fig7_file, tmp_path,
@@ -119,6 +123,27 @@ def test_run_trace_writes_valid_chrome_json(fig7_file, tmp_path,
     out = capsys.readouterr().out
     assert f"trace: wrote {trace_path}" in out
     assert validate_chrome_trace_file(str(trace_path)) > 0
+
+
+def test_run_trace_survives_a_faulted_run(fig7_file, tmp_path,
+                                          capsys):
+    """A chaos run's trace is most valuable when the run faults:
+    --trace must write a valid trace on the failure path too, with
+    the fault events on it."""
+    from repro.obs.export import (
+        trace_event_names, validate_chrome_trace_file)
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    assert main(["run", "--mode", "relaxed", fig7_file,
+                 "--inject", "channel-corrupt:*:spawn:1",
+                 "--trace", str(trace_path)]) == 5
+    err = capsys.readouterr().err
+    assert f"trace: wrote {trace_path}" in err
+    assert validate_chrome_trace_file(str(trace_path)) > 0
+    with open(trace_path) as handle:
+        names = trace_event_names(json.load(handle))
+    assert "inject" in names and "detect" in names
 
 
 def test_run_stats_prints_metrics(fig7_file, capsys):
@@ -195,3 +220,71 @@ def test_analyze_without_secure_types_pass_is_an_error(clean_file,
 def test_analyze_error_names_the_source_line(broken_file, capsys):
     assert main(["analyze", broken_file]) == 1
     assert "source line 4:" in capsys.readouterr().err
+
+
+# -- chaos / fault-injection flags --------------------------------------------
+
+
+def test_run_inject_drop_faults_with_typed_exit_code(fig7_file,
+                                                     capsys):
+    """Dropping the first spawn parks the program forever: the CLI
+    must exit with the DeadlockFault code and a structured line."""
+    code = main(["run", "--mode", "relaxed", fig7_file,
+                 "--inject", "channel-drop:*:spawn:1"])
+    captured = capsys.readouterr()
+    assert code == 4
+    assert "fault[DeadlockFault] exit=4:" in captured.err
+    assert "chaos: injecting [channel-drop:*:spawn:1]" \
+        in captured.err
+
+
+def test_run_inject_corrupt_is_detected_as_iago(fig7_file, capsys):
+    code = main(["run", "--mode", "relaxed", fig7_file,
+                 "--inject", "channel-corrupt:*:spawn:1"])
+    captured = capsys.readouterr()
+    assert code == 5
+    assert "fault[IagoFault] exit=5:" in captured.err
+    assert "failed authentication" in captured.err
+
+
+def test_run_inject_unmatched_entry_is_harmless(fig7_file, capsys):
+    """An injection that never matches leaves the run identical."""
+    assert main(["run", "--mode", "relaxed", fig7_file,
+                 "--inject", "channel-drop:green->U:token:9"]) == 0
+    captured = capsys.readouterr()
+    assert "main() = 42" in captured.out
+    assert "faults: injected=0 detected=0 of 1 armed" \
+        in captured.out
+
+
+def test_run_inject_bad_spec_is_an_error(fig7_file, capsys):
+    assert main(["run", "--mode", "relaxed", fig7_file,
+                 "--inject", "flip-bits:x:1"]) == 1
+    assert "unknown fault action 'flip-bits'" in \
+        capsys.readouterr().err
+
+
+def test_run_chaos_seed_is_deterministic(fig7_file, capsys):
+    """The same seed must draw the same plan (and outcome)."""
+
+    def once():
+        code = main(["run", "--mode", "relaxed", fig7_file,
+                     "--chaos-seed", "11"])
+        captured = capsys.readouterr()
+        plan = [line for line in captured.err.splitlines()
+                if line.startswith("chaos: injecting")]
+        return code, plan
+
+    first = once()
+    second = once()
+    assert first == second
+    assert first[1]  # the plan line was printed
+
+
+def test_run_watchdog_steps_flag(fig7_file, capsys):
+    code = main(["run", "--mode", "relaxed", fig7_file,
+                 "--watchdog-steps", "3"])
+    captured = capsys.readouterr()
+    assert code == 7
+    assert "fault[WatchdogTimeout] exit=7:" in captured.err
+    assert "watchdog budget of 3 step(s)" in captured.err
