@@ -1,0 +1,158 @@
+"""Serve benchmark — the batching payoff over real sockets.
+
+For every YCSB workload (A/B/C/D/F) at 1, 4 and 16 concurrent
+clients, runs the load generator against two servers that differ only
+in ``batch``: 16 (the default scheduling round) vs 1 (one interpreter
+drive per request).  The fixed per-drive costs — app context spawn,
+worker-group creation, scheduler warmup/drain — are paid per *batch*
+in the first server and per *request* in the second, so the ratio is
+the direct measurement of the amortization the serve layer exists
+for.
+
+Results go to ``BENCH_serve.json`` at the repo root (ops/s and
+p50/p95/p99 per cell) plus the usual benchmark report.  Smoke mode
+(``REPRO_BENCH_SMOKE=1`` or ``--smoke``) shrinks the op counts and
+the client matrix for CI.
+"""
+
+import json
+import os
+import platform
+import sys
+
+import pytest
+
+from repro.bench import Report
+from repro.serve.engine import SecureKVEngine, compile_secure_kv
+from repro.serve.loadgen import run_load
+from repro.serve.server import ServeConfig, ServerThread
+
+pytestmark = [pytest.mark.slow, pytest.mark.net]
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+WORKLOADS = ("A", "B", "C", "D", "F")
+CLIENTS = (1, 4) if SMOKE else (1, 4, 16)
+OPS_PER_CLIENT = 20 if SMOKE else 120
+RECORDS = 32 if SMOKE else 64
+VALUE_BYTES = 64 if SMOKE else 128
+BATCHES = (16, 1)
+
+
+def _run_cell(program, workload, clients, batch, seed):
+    """One (workload, clients, batch) measurement: fresh server,
+    fresh cache, shared compiled program."""
+    config = ServeConfig(port=0, batch=batch, queue_depth=256)
+    with ServerThread(config,
+                      engine=SecureKVEngine(program=program)) as st:
+        report = run_load("127.0.0.1", st.server.port,
+                          workload=workload, clients=clients,
+                          ops=OPS_PER_CLIENT * clients,
+                          records=RECORDS, value_bytes=VALUE_BYTES,
+                          seed=seed)
+        st.stop()
+    if st.error is not None:
+        raise st.error
+    if report["dropped_connections"] or report["errors"]:
+        raise RuntimeError(
+            f"{workload}x{clients} batch={batch}: "
+            f"{report['dropped_connections']} dropped, "
+            f"{report['errors']} errors")
+    return {
+        "ops_per_s": report["ops_per_s"],
+        "p50_ms": report["p50_ms"],
+        "p95_ms": report["p95_ms"],
+        "p99_ms": report["p99_ms"],
+        "shed_retries": report["shed_retries"],
+    }
+
+
+def run_serve_comparison():
+    program = compile_secure_kv()
+    # Warm the lanes once (imports, socket setup, code paths) so the
+    # first measured cell is not paying one-time costs.
+    _run_cell(program, "C", CLIENTS[0], BATCHES[0], seed=99)
+    results = {
+        "meta": {
+            "python": platform.python_version(),
+            "smoke": SMOKE,
+            "clients": list(CLIENTS),
+            "ops_per_client": OPS_PER_CLIENT,
+            "records": RECORDS,
+            "value_bytes": VALUE_BYTES,
+        },
+        "workloads": {},
+    }
+    for workload in WORKLOADS:
+        per_clients = {}
+        for clients in CLIENTS:
+            cell = {}
+            for batch in BATCHES:
+                key = "batched" if batch == 16 else "batch1"
+                cell[key] = _run_cell(program, workload, clients,
+                                      batch, seed=7)
+            cell["speedup"] = round(
+                cell["batched"]["ops_per_s"]
+                / cell["batch1"]["ops_per_s"], 2)
+            per_clients[str(clients)] = cell
+        results["workloads"][workload] = per_clients
+    return results
+
+
+def _repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def write_json(results) -> str:
+    name = ("BENCH_serve.smoke.json" if results["meta"]["smoke"]
+            else "BENCH_serve.json")
+    path = os.path.join(_repo_root(), name)
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def regenerate_serve_report() -> Report:
+    report = Report("serve",
+                    "Serve: request batching vs one drive/request")
+    results = run_serve_comparison()
+    rows = []
+    for workload, per_clients in results["workloads"].items():
+        for clients, cell in per_clients.items():
+            rows.append((workload, clients,
+                         cell["batched"]["ops_per_s"],
+                         cell["batch1"]["ops_per_s"],
+                         cell["batched"]["p99_ms"],
+                         f"{cell['speedup']:.2f}x"))
+    report.table(("workload", "clients", "batched ops/s",
+                  "batch-1 ops/s", "batched p99 ms", "speedup"),
+                 rows)
+    report.add()
+    top = str(max(CLIENTS))
+    gains = [per_clients[top]["speedup"]
+             for per_clients in results["workloads"].values()]
+    report.add(f"batching speedup at {top} clients: "
+               f"min {min(gains):.2f}x / max {max(gains):.2f}x "
+               f"(fixed per-drive costs amortized over the batch)")
+    path = write_json(results)
+    report.add(f"machine-readable results: {os.path.basename(path)}")
+    if not SMOKE:
+        worst = results["workloads"]["C"]["16"]["speedup"]
+        assert worst >= 1.5, \
+            f"batching below 1.5x on C@16: {worst:.2f}x"
+    return report
+
+
+def bench_serve(benchmark):
+    report = benchmark(regenerate_serve_report)
+    report.write()
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv and not SMOKE:
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+        os.execv(sys.executable, [sys.executable, __file__])
+    report = regenerate_serve_report()
+    report.write()
+    print(report.text())

@@ -60,3 +60,30 @@ else
     fi
 fi
 echo "chaos smoke: typed-fault/identical contract OK"
+
+# Serve smoke: host the partitioned KV app on an ephemeral port, push
+# 200 YCSB-C ops through real sockets, and check a clean drain with
+# actual request batching (nonzero serve.batch_size histogram).
+python - <<'PYEOF'
+from repro.serve import SecureKVEngine, ServeConfig, ServerThread
+from repro.serve.engine import compile_secure_kv
+from repro.serve.loadgen import run_load
+
+config = ServeConfig(port=0, batch=16)
+with ServerThread(config,
+                  engine=SecureKVEngine(
+                      program=compile_secure_kv())) as st:
+    report = run_load("127.0.0.1", st.server.port, workload="C",
+                      clients=4, ops=200, records=32,
+                      value_bytes=32, seed=5)
+    st.stop()
+assert st.error is None, st.error
+assert st.server.drained, "server did not drain cleanly"
+assert report["dropped_connections"] == 0, report
+assert report["errors"] == 0, report
+hist = st.server.registry.histogram("serve.batch_size")
+assert hist.count > 0 and hist.max >= 1, hist.get()
+print(f"serve smoke: {report['ops']} ops over TCP OK "
+      f"({report['ops_per_s']} ops/s, "
+      f"mean batch {hist.mean:.1f}, drained cleanly)")
+PYEOF

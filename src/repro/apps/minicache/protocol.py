@@ -21,6 +21,13 @@ from typing import NamedTuple, Optional, Tuple
 
 CRLF = "\r\n"
 
+#: Protocol limits (memcached's defaults): keys are at most 250
+#: bytes and values at most 1 MiB.  Requests beyond these are
+#: rejected as malformed instead of allocating attacker-chosen
+#: amounts of memory.
+MAX_KEY_BYTES = 250
+MAX_DATA_BYTES = 1 << 20
+
 
 class Request(NamedTuple):
     command: str                 # "set" | "get" | "delete"
@@ -34,8 +41,34 @@ class ProtocolError(ValueError):
     pass
 
 
+def _int_field(token: str, what: str) -> int:
+    """Parse a protocol integer field; malformed digits are a
+    protocol error, never a stray ``ValueError`` crash."""
+    try:
+        value = int(token)
+    except ValueError:
+        raise ProtocolError(f"{what} is not a number: {token!r}")
+    if value < 0:
+        raise ProtocolError(f"{what} is negative: {value}")
+    return value
+
+
+def _checked_key(key: str) -> str:
+    if len(key) > MAX_KEY_BYTES:
+        raise ProtocolError(
+            f"key of {len(key)} bytes exceeds the {MAX_KEY_BYTES}-"
+            f"byte limit")
+    return key
+
+
 def parse_request(text: str) -> Request:
-    """Parse one complete request (header line [+ data line])."""
+    """Parse one complete request (header line [+ data line]).
+
+    Every malformation — bad command, wrong arity, non-numeric or
+    negative sizes, oversized key/value, non-latin-1 data — raises
+    :class:`ProtocolError`, so ``MiniCache.handle`` (and the socket
+    server built on it) can answer ``ERROR`` instead of crashing.
+    """
     if CRLF not in text:
         raise ProtocolError("request not terminated")
     header, _, rest = text.partition(CRLF)
@@ -46,21 +79,30 @@ def parse_request(text: str) -> Request:
     if command == "get":
         if len(parts) != 2:
             raise ProtocolError("get expects one key")
-        return Request("get", parts[1])
+        return Request("get", _checked_key(parts[1]))
     if command == "delete":
         if len(parts) != 2:
             raise ProtocolError("delete expects one key")
-        return Request("delete", parts[1])
+        return Request("delete", _checked_key(parts[1]))
     if command == "set":
         if len(parts) != 5:
             raise ProtocolError("set expects key flags exptime bytes")
         key, flags, exptime, nbytes = parts[1:]
-        size = int(nbytes)
-        data = rest[:size].encode("latin-1")
+        size = _int_field(nbytes, "set: byte count")
+        if size > MAX_DATA_BYTES:
+            raise ProtocolError(
+                f"set: {size} data bytes exceed the "
+                f"{MAX_DATA_BYTES}-byte limit")
+        try:
+            data = rest[:size].encode("latin-1")
+        except UnicodeEncodeError:
+            raise ProtocolError("set: data is not latin-1")
         if len(data) != size:
             raise ProtocolError(
                 f"set: expected {size} data bytes, got {len(data)}")
-        return Request("set", key, int(flags), int(exptime), data)
+        return Request("set", _checked_key(key),
+                       _int_field(flags, "set: flags"),
+                       _int_field(exptime, "set: exptime"), data)
     raise ProtocolError(f"unknown command {command!r}")
 
 
@@ -88,6 +130,9 @@ END = f"END{CRLF}"
 DELETED = f"DELETED{CRLF}"
 NOT_FOUND = f"NOT_FOUND{CRLF}"
 ERROR = f"ERROR{CRLF}"
+#: Backpressure response of the socket server (repro.serve): the
+#: pending-request queue is full and this request was shed.
+SERVER_BUSY = f"SERVER_BUSY{CRLF}"
 
 
 def parse_value_response(text: str) -> Optional[bytes]:
@@ -97,5 +142,8 @@ def parse_value_response(text: str) -> Optional[bytes]:
     if not text.startswith("VALUE "):
         raise ProtocolError(f"unexpected response {text[:32]!r}")
     header, _, rest = text.partition(CRLF)
-    size = int(header.split()[3])
+    fields = header.split()
+    if len(fields) != 4:
+        raise ProtocolError(f"malformed VALUE header {header!r}")
+    size = _int_field(fields[3], "VALUE: byte count")
     return rest[:size].encode("latin-1")

@@ -50,6 +50,12 @@ class MiniCache:
         self.map = ChainingHashMap(counter=self.counter)
         self.lru = LRUIndex(capacity_bytes)
         self.stats = CacheStats()
+        #: Optional ``key -> None`` callback fired for every LRU
+        #: eviction.  The socket server (repro.serve) uses it to keep
+        #: the enclave-side key index in sync with the untrusted
+        #: store, so an evicted key does not read as an integrity
+        #: violation later.
+        self.on_evict = None
 
     # -- operations --------------------------------------------------------------
 
@@ -58,6 +64,8 @@ class MiniCache:
         for victim in self.lru.add(key, len(data) + len(key)):
             self.map.delete(victim)
             self.stats.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
         self.stats.sets += 1
 
     def get(self, key: str) -> Optional[bytes]:

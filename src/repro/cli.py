@@ -104,6 +104,76 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the full metrics dump after the run")
     run.add_argument("args", nargs="*", type=int,
                      help="integer arguments for the entry point")
+
+    serve = sub.add_parser(
+        "serve",
+        help="host the partitioned KV application behind TCP "
+             "(memcached text protocol)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=11311,
+                       help="listening port; 0 picks an ephemeral "
+                            "port, printed on startup (default: "
+                            "11311)")
+    serve.add_argument("--batch", type=int, default=16,
+                       help="max requests per interpreter drive "
+                            "(1 disables batching; default: 16)")
+    serve.add_argument("--queue-depth", type=int, default=128,
+                       help="pending-request bound; beyond it "
+                            "requests are shed with SERVER_BUSY "
+                            "(default: 128)")
+    serve.add_argument("--capacity-bytes", type=int,
+                       default=64 * 1024 * 1024,
+                       help="untrusted cache LRU capacity")
+    serve.add_argument("--engine", choices=list(ENGINES),
+                       default=None,
+                       help="interpreter engine (default: decoded, "
+                            "or REPRO_ENGINE)")
+    serve.add_argument("--max-steps", type=int,
+                       default=50_000_000, metavar="N",
+                       help="per-drive scheduler step budget")
+    serve.add_argument("--watchdog-steps", type=int, default=None,
+                       metavar="N",
+                       help="per-context step budget (raises "
+                            "WatchdogTimeout)")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       metavar="N",
+                       help="drain and exit after accepting N "
+                            "requests (tests/smoke)")
+    serve.add_argument("--inject", metavar="SPEC", default=None,
+                       help="fault-injection schedule (see "
+                            "repro.faults.plan)")
+    serve.add_argument("--chaos-seed", type=int, default=None,
+                       metavar="SEED",
+                       help="random fault plan from SEED")
+    serve.add_argument("--trace", metavar="OUT.json", default=None,
+                       help="write a Chrome trace_event JSON of the "
+                            "serving run")
+    serve.add_argument("--stats", action="store_true",
+                       help="print the full metrics dump on "
+                            "shutdown")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay a YCSB workload against a running server")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=11311)
+    loadgen.add_argument("--workload", default="C",
+                         help="YCSB workload: A/B/C/D/F or "
+                              "'ycsb-a' aliases (default: C)")
+    loadgen.add_argument("--clients", type=int, default=4,
+                         help="concurrent client threads")
+    loadgen.add_argument("--ops", type=int, default=1000,
+                         help="total operations across all clients")
+    loadgen.add_argument("--records", type=int, default=256,
+                         help="preloaded keyspace size")
+    loadgen.add_argument("--seed", type=int, default=42)
+    loadgen.add_argument("--value-bytes", type=int, default=None,
+                         help="value size (default: the workload's "
+                              "record_bytes)")
+    loadgen.add_argument("--no-preload", action="store_true",
+                         help="skip preloading the keyspace")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the report as JSON")
     return parser
 
 
@@ -236,6 +306,96 @@ def cmd_run(options) -> int:
     return 0
 
 
+def cmd_serve(options) -> int:
+    import signal
+    import threading
+
+    from repro.serve.server import PrivagicServer, ServeConfig
+
+    obs = None
+    if options.trace or options.stats:
+        from repro.obs import Observability
+        obs = Observability(trace=options.trace is not None)
+    config = ServeConfig(
+        host=options.host, port=options.port, batch=options.batch,
+        queue_depth=options.queue_depth,
+        capacity_bytes=options.capacity_bytes,
+        engine=options.engine, max_steps=options.max_steps,
+        watchdog_steps=options.watchdog_steps,
+        max_requests=options.max_requests)
+    server = PrivagicServer(
+        config,
+        registry=obs.registry if obs is not None else None,
+        tracer=obs.tracer if obs is not None else None)
+    if obs is not None:
+        obs.attach(server.engine.runtime)
+    injector = _build_injector(options, server.engine.program)
+    if injector is not None:
+        injector.attach(server.engine.runtime)
+        print(f"chaos: injecting [{injector.plan.spec()}]",
+              file=sys.stderr)
+    port = server.bind()
+    print(f"serve: listening on {options.host}:{port} "
+          f"(batch={options.batch}, "
+          f"queue-depth={options.queue_depth})", flush=True)
+    previous_handler = None
+    in_main = threading.current_thread() is threading.main_thread()
+    if in_main:
+        previous_handler = signal.signal(
+            signal.SIGINT, lambda *_args: server.request_stop())
+    try:
+        server.serve_forever()
+    finally:
+        if in_main and previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
+        if obs is not None:
+            obs.detach()
+            if options.trace:
+                obs.write_trace(options.trace)
+                print(f"trace: wrote {options.trace} "
+                      f"({len(obs.tracer.events)} events)",
+                      file=sys.stdout if sys.exc_info()[0] is None
+                      else sys.stderr)
+    registry = server.registry
+    requests = registry.counter("serve.requests").get()
+    drives = registry.counter("serve.drives").get()
+    batch_hist = registry.histogram("serve.batch_size")
+    print(f"serve: {'drained cleanly' if server.drained else 'stopped'}: "
+          f"{requests} request(s) over {drives} drive(s) "
+          f"(mean batch {batch_hist.mean:.2f}), "
+          f"shed={registry.counter('serve.shed').get()}")
+    if injector is not None:
+        print(f"faults: injected={injector.injected_total()} "
+              f"detected={injector.detected_total()} "
+              f"of {injector.armed} armed")
+    if obs is not None and options.stats:
+        print(obs.metrics_text())
+    return 0
+
+
+def cmd_loadgen(options) -> int:
+    import json as json_module
+
+    from repro.serve.loadgen import LoadError, format_report, run_load
+
+    try:
+        report = run_load(
+            options.host, options.port, workload=options.workload,
+            clients=options.clients, ops=options.ops,
+            records=options.records, seed=options.seed,
+            value_bytes=options.value_bytes,
+            preload=not options.no_preload)
+    except (ValueError, LoadError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if options.json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    failed = report["dropped_connections"] or report["errors"]
+    return 1 if failed else 0
+
+
 def _build_injector(options, program):
     """The fault injector requested by --inject / --chaos-seed, or
     ``None`` for an honest run."""
@@ -259,7 +419,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     options = build_parser().parse_args(argv)
     handler = {"analyze": cmd_analyze, "compile": cmd_compile,
-               "run": cmd_run}[options.command]
+               "run": cmd_run, "serve": cmd_serve,
+               "loadgen": cmd_loadgen}[options.command]
     try:
         return handler(options)
     except RuntimeFault as error:

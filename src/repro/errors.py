@@ -142,3 +142,38 @@ class SGXAccessViolation(RuntimeFault):
         self.mode = mode
         self.region = region
         super().__init__(message)
+
+
+def exit_code_table():
+    """The full CLI exit-code contract, ``(code, name, meaning)``
+    rows sorted by code.
+
+    This is the single source of truth: the fault rows are derived
+    from :data:`FAULT_EXIT_CODES` (plus :class:`SGXAccessViolation`'s
+    code in :func:`fault_exit_code`), ``tests/test_cli.py`` asserts
+    the README table matches it, and harnesses may render it instead
+    of hard-coding codes.
+    """
+    meanings = {
+        DeadlockFault: "no context can make progress while messages "
+                       "are still awaited",
+        IagoFault: "untrusted data failed an integrity check "
+                   "(channel authentication, Iago postconditions)",
+        EnclaveCrash: "a simulated AEX killed a worker that was not "
+                      "restarted",
+        WatchdogTimeout: "a context or run exceeded its step budget",
+    }
+    rows = [
+        (0, "success", "the command completed"),
+        (1, "PrivagicError", "compile-time or usage error (secure "
+                             "typing, partitioning, bad flags)"),
+        (2, "OSError", "filesystem or socket error"),
+        (3, "RuntimeFault", "an untyped runtime fault (none of the "
+                            "classes below)"),
+    ]
+    for cls, code in FAULT_EXIT_CODES:
+        rows.append((code, cls.__name__, meanings[cls]))
+    rows.append((fault_exit_code(SGXAccessViolation("")),
+                 "SGXAccessViolation",
+                 "a forbidden enclave/normal-mode memory access"))
+    return tuple(sorted(rows))

@@ -29,6 +29,10 @@ vocabulary closed and schema-checkable:
 ``fault``               a fault-injection/detection/recovery event
                         from the chaos harness (repro.faults) or
                         the runtime's integrity checks
+``serve_mark`` /        the socket server's request lifecycle
+``serve_span``          (repro.serve): accept/shed instants on the
+                        connection's track, and queued/execute/
+                        reply spans per request or batch drive
 ======================  =========================================
 
 Per-access events would dwarf the run being observed, so the two
@@ -57,9 +61,10 @@ CAT_MEMORY = "mem"
 CAT_COST = "cost"
 CAT_PIPELINE = "pipeline"
 CAT_FAULT = "fault"
+CAT_SERVE = "serve"
 
 CATEGORIES = (CAT_INTERP, CAT_RUNTIME, CAT_CHANNEL, CAT_MEMORY,
-              CAT_COST, CAT_PIPELINE, CAT_FAULT)
+              CAT_COST, CAT_PIPELINE, CAT_FAULT, CAT_SERVE)
 
 #: The single simulated process all tracks live in.
 PID = 1
@@ -189,6 +194,21 @@ class Tracer:
         if args:
             payload.update(args)
         self.instant(event, CAT_FAULT, "faults", payload)
+
+    def serve_mark(self, event: str, track: str,
+                   args: Optional[dict] = None) -> None:
+        """One socket-server lifecycle instant (``accept``, ``shed``,
+        ``close`` ...) on a serve-layer track (``conn.N`` or
+        ``serve``)."""
+        self.instant(event, CAT_SERVE, track, args)
+
+    def serve_span(self, name: str, track: str, ts_us: float,
+                   dur_us: float,
+                   args: Optional[dict] = None) -> None:
+        """One serve-layer phase as a complete span: per-request
+        ``queued``/``reply`` on the connection's track, per-round
+        ``execute`` on the ``serve`` track."""
+        self.complete(name, CAT_SERVE, track, ts_us, dur_us, args)
 
     def memory_access(self, region: str, rw: str) -> None:
         """Aggregated: one counter sample per ``sample_every``

@@ -441,6 +441,42 @@ class PrivagicRuntime:
             if not progressed:
                 self._report_deadlock()
 
+    def retire_finished(self) -> int:
+        """Drop finished application contexts and the worker groups
+        that served them; returns the number of contexts retired.
+
+        Each :meth:`run` leaves its finished application context and
+        its (idle, ``keep_alive``) workers in ``machine.contexts``.
+        One-shot callers never notice, but a long-lived host driving
+        thousands of runs on one runtime (the repro.serve engine)
+        would scan an ever-growing context list on every scheduler
+        round.  A group is retired only when no live context belongs
+        to it and its channels are drained, so calling this between
+        runs is always safe."""
+        live_groups = set()
+        kept: List[ExecutionContext] = []
+        retired = 0
+        contexts = self.machine.contexts
+        for ctx in contexts:
+            if getattr(ctx, "keep_alive", False):
+                continue        # workers: decided per group below
+            if ctx.finished:
+                retired += 1
+                continue
+            kept.append(ctx)
+            group = getattr(ctx, "privagic_group", None)
+            if group is not None:
+                live_groups.add(group.group_id)
+        for group_id in sorted(self._groups):
+            group = self._groups[group_id]
+            if group_id in live_groups or group.matrix.pending():
+                kept.extend(group.workers.values())
+            else:
+                retired += len(group.workers)
+                del self._groups[group_id]
+        contexts[:] = kept
+        return retired
+
     def _quiescent(self, main: ExecutionContext) -> bool:
         """Done when the application thread finished, every worker is
         idle and no message is in flight."""

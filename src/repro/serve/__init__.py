@@ -1,0 +1,29 @@
+"""repro.serve — the networked serving layer (paper §9.2-§9.3).
+
+The evaluation measures partitioned memcached end-to-end: real
+clients, real sockets, YCSB traffic.  This package is that missing
+transport: a selectors-based TCP server hosting the compiled
+partitioned KV application behind the minicache text protocol
+(:mod:`repro.serve.server`), the secure-engine bridge that batches
+pending requests into single interpreter drives
+(:mod:`repro.serve.engine`), incremental request framing with
+malformed-input rejection (:mod:`repro.serve.framing`), and a
+multi-threaded YCSB load generator reporting throughput and latency
+percentiles (:mod:`repro.serve.loadgen`).
+"""
+
+from repro.serve.engine import SecureKVEngine
+from repro.serve.framing import FrameError, RequestFramer
+from repro.serve.loadgen import LoadClient, run_load
+from repro.serve.server import PrivagicServer, ServeConfig, ServerThread
+
+__all__ = [
+    "FrameError",
+    "LoadClient",
+    "PrivagicServer",
+    "RequestFramer",
+    "SecureKVEngine",
+    "ServeConfig",
+    "ServerThread",
+    "run_load",
+]

@@ -1,0 +1,132 @@
+"""Incremental request framing for the socket server.
+
+TCP delivers a byte stream; the memcached text protocol frames it
+into requests (one header line, plus a counted data block for
+``set``).  The :class:`RequestFramer` accumulates whatever the socket
+delivered and yields *complete* raw request texts, holding partial
+requests until the rest arrives.
+
+Malformation splits into two classes, because the server's recovery
+differs:
+
+* **Recoverable** garbage that still frames as a line — an unknown
+  command, wrong arity, a bad key — is yielded as a normal frame;
+  ``MiniCache.handle`` answers ``ERROR`` and the connection lives on
+  (exactly what memcached does).
+* **Desynchronizing** garbage — a header line longer than any legal
+  request, a ``set`` whose byte count is not a number, out of range,
+  or whose data block is not CRLF-terminated — means the framer can
+  no longer tell where the next request starts.  That raises
+  :class:`FrameError`; the server answers ``ERROR`` once and closes
+  the connection, since anything further would be misparsed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.apps.minicache import protocol
+
+CRLF = b"\r\n"
+
+
+class FrameError(protocol.ProtocolError):
+    """The byte stream desynchronized; the connection must close."""
+
+
+class RequestFramer:
+    """Accumulates bytes; produces complete raw request strings.
+
+    Parameters
+    ----------
+    max_line:
+        Longest permitted header line (bytes, excluding CRLF).  Also
+        bounds how much garbage a client can buffer before being cut
+        off.
+    max_data:
+        Largest permitted ``set`` data block (bytes).
+    """
+
+    def __init__(self, max_line: int = 8192,
+                 max_data: int = protocol.MAX_DATA_BYTES):
+        self.max_line = max_line
+        self.max_data = max_data
+        self._buf = bytearray()
+        self._broken = False
+
+    def feed(self, data: bytes) -> None:
+        """Append freshly received bytes."""
+        if not self._broken:
+            self._buf += data
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def drain(self) -> Tuple[List[str], Optional[FrameError]]:
+        """All complete frames buffered so far, plus the desync error
+        that stopped framing (or ``None``).  After an error the
+        framer is broken: further ``feed``/``drain`` calls are no-ops
+        (the server closes the connection)."""
+        frames: List[str] = []
+        if self._broken:
+            return frames, None
+        while True:
+            try:
+                frame = self._next_frame()
+            except FrameError as error:
+                self._broken = True
+                self._buf.clear()
+                return frames, error
+            if frame is None:
+                return frames, None
+            frames.append(frame)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _next_frame(self) -> Optional[str]:
+        buf = self._buf
+        idx = buf.find(CRLF)
+        if idx < 0:
+            if len(buf) > self.max_line:
+                raise FrameError(
+                    f"header line exceeds {self.max_line} bytes "
+                    f"without a terminator")
+            return None
+        if idx > self.max_line:
+            raise FrameError(
+                f"header line of {idx} bytes exceeds the "
+                f"{self.max_line}-byte limit")
+        header = bytes(buf[:idx]).decode("latin-1")
+        parts = header.split()
+        if parts and parts[0].lower() == "set" and len(parts) == 5:
+            return self._set_frame(idx, parts[4])
+        # Single-line frame: get/delete, or recoverable garbage the
+        # protocol layer will answer ERROR to.
+        frame = bytes(buf[:idx + 2]).decode("latin-1")
+        del buf[:idx + 2]
+        return frame
+
+    def _set_frame(self, idx: int, nbytes: str) -> Optional[str]:
+        """A ``set`` header: wait for (and validate) its counted data
+        block before yielding the combined frame."""
+        try:
+            size = int(nbytes)
+        except ValueError:
+            raise FrameError(
+                f"set byte count is not a number: {nbytes!r}")
+        if size < 0:
+            raise FrameError(f"set byte count is negative: {size}")
+        if size > self.max_data:
+            raise FrameError(
+                f"set data block of {size} bytes exceeds the "
+                f"{self.max_data}-byte limit")
+        buf = self._buf
+        total = idx + 2 + size + 2
+        if len(buf) < total:
+            return None
+        if bytes(buf[total - 2:total]) != CRLF:
+            raise FrameError("set data block is not CRLF-terminated")
+        frame = bytes(buf[:total]).decode("latin-1")
+        del buf[:total]
+        return frame

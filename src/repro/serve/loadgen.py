@@ -1,0 +1,318 @@
+"""The YCSB load generator: real sockets, N client threads,
+latency percentiles — the role of the paper's YCSB client (§9.2).
+
+:class:`LoadClient` speaks the memcached text protocol over a
+blocking TCP socket (with its own response framing, since ``VALUE``
+replies carry a counted data block).  :func:`run_load` replays a
+:class:`~repro.workloads.ycsb.Workload` stream (A/B/C/D/F —
+zipfian/uniform/latest) from ``clients`` worker threads against a
+server, measures per-operation latency, and reports throughput plus
+p50/p95/p99.
+
+``SERVER_BUSY`` answers (the server's backpressure) are retried with
+a short pause and counted — shedding is load regulation, not an
+error.  A reset or refused connection *is* counted, in
+``dropped_connections``: the acceptance bar for the server is zero.
+
+Runs standalone (``python -m repro.serve.loadgen --port N``) and
+behind the ``repro loadgen`` CLI command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.apps.minicache import protocol
+from repro.workloads.ycsb import Workload, workload_by_name
+
+CRLF = b"\r\n"
+
+
+class LoadError(Exception):
+    """A client worker could not complete its operations."""
+
+
+class LoadClient:
+    """One blocking protocol connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.sock = socket.create_connection((host, port),
+                                             timeout=timeout)
+        try:
+            self.sock.setsockopt(socket.IPPROTO_TCP,
+                                 socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self._buf = bytearray()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    # -- protocol ----------------------------------------------------------------
+
+    def request(self, text: str) -> str:
+        """Send one request, read one complete response."""
+        self.sock.sendall(text.encode("latin-1"))
+        return self._read_response()
+
+    def set(self, key: str, data: bytes) -> str:
+        return self.request(protocol.encode_set(key, data))
+
+    def get(self, key: str) -> str:
+        return self.request(protocol.encode_get(key))
+
+    def delete(self, key: str) -> str:
+        return self.request(protocol.encode_delete(key))
+
+    # -- response framing --------------------------------------------------------
+
+    def _fill(self, need: int) -> None:
+        while len(self._buf) < need:
+            data = self.sock.recv(65536)
+            if not data:
+                raise LoadError("server closed the connection "
+                                "mid-response")
+            self._buf += data
+
+    def _read_line(self) -> int:
+        """Index just past the first CRLF, reading as needed."""
+        while True:
+            idx = self._buf.find(CRLF)
+            if idx >= 0:
+                return idx + 2
+            self._fill(len(self._buf) + 1)
+
+    def _read_response(self) -> str:
+        end = self._read_line()
+        line = bytes(self._buf[:end]).decode("latin-1")
+        if not line.startswith("VALUE "):
+            del self._buf[:end]
+            return line
+        fields = line.split()
+        if len(fields) != 4:
+            raise LoadError(f"malformed VALUE header {line!r}")
+        try:
+            size = int(fields[3])
+        except ValueError:
+            raise LoadError(f"malformed VALUE size in {line!r}")
+        # VALUE header + data + CRLF + END + CRLF
+        total = end + size + 2 + len(protocol.END)
+        self._fill(total)
+        response = bytes(self._buf[:total]).decode("latin-1")
+        del self._buf[:total]
+        return response
+
+
+def _record_bytes(size: int) -> bytes:
+    """YCSB-style deterministic filler."""
+    return bytes(ord("a") + i % 26 for i in range(size))
+
+
+def _request_with_retry(client: LoadClient, encoded: str,
+                        counters: Dict[str, int],
+                        max_retries: int = 500) -> str:
+    """Issue a request, retrying while the server sheds load."""
+    for _attempt in range(max_retries):
+        response = client.request(encoded)
+        if response != protocol.SERVER_BUSY:
+            return response
+        counters["shed"] += 1
+        time.sleep(0.002)
+    raise LoadError(f"server still busy after {max_retries} retries")
+
+
+def _run_worker(host: str, port: int, workload: Workload,
+                record: bytes, barrier: threading.Barrier,
+                result: Dict[str, object]) -> None:
+    latencies: List[float] = []
+    counters = {"shed": 0, "errors": 0, "hits": 0, "ops": 0}
+    result["latencies"] = latencies
+    result["counters"] = counters
+    result["dropped"] = 0
+    try:
+        client = LoadClient(host, port)
+    except OSError:
+        result["dropped"] = 1
+        barrier.wait()
+        return
+    try:
+        barrier.wait()
+        for op in workload.operations():
+            key = f"user{op.key}"
+            t0 = time.perf_counter()
+            if op.kind == "read":
+                response = _request_with_retry(
+                    client, protocol.encode_get(key), counters)
+                if response != protocol.END:
+                    counters["hits"] += 1
+            elif op.kind in ("update", "insert"):
+                _request_with_retry(
+                    client, protocol.encode_set(key, record),
+                    counters)
+            elif op.kind == "rmw":
+                _request_with_retry(
+                    client, protocol.encode_get(key), counters)
+                _request_with_retry(
+                    client, protocol.encode_set(key, record),
+                    counters)
+            latencies.append(time.perf_counter() - t0)
+            counters["ops"] += 1
+    except (OSError, LoadError):
+        result["dropped"] = 1
+    finally:
+        client.close()
+
+
+def _percentile(sorted_values: List[float], pct: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(pct / 100.0 * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run_load(host: str, port: int, workload: str = "C",
+             clients: int = 4, ops: int = 1000, records: int = 256,
+             seed: int = 42, value_bytes: Optional[int] = None,
+             preload: bool = True) -> Dict[str, object]:
+    """Replay ``ops`` total YCSB operations from ``clients`` threads;
+    returns the aggregated report (see keys below).
+
+    Each thread gets an independent, deterministically seeded
+    :class:`Workload` stream over the same ``records`` keyspace, so
+    the run is reproducible for a given (workload, clients, ops,
+    seed) tuple.
+    """
+    spec = workload_by_name(workload)
+    size = value_bytes if value_bytes is not None \
+        else spec.record_bytes
+    record = _record_bytes(size)
+    per_client = max(1, ops // clients)
+    if preload:
+        client = LoadClient(host, port)
+        try:
+            counters = {"shed": 0}
+            for key in range(records):
+                _request_with_retry(
+                    client, protocol.encode_set(f"user{key}", record),
+                    counters)
+        finally:
+            client.close()
+    barrier = threading.Barrier(clients + 1)
+    results: List[Dict[str, object]] = [{} for _ in range(clients)]
+    threads = []
+    for index in range(clients):
+        stream = Workload(spec, records, per_client,
+                          seed=seed + index * 7919)
+        thread = threading.Thread(
+            target=_run_worker,
+            args=(host, port, stream, record, barrier,
+                  results[index]),
+            daemon=True, name=f"loadgen-{index}")
+        threads.append(thread)
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - t0
+    latencies = sorted(
+        value for result in results
+        for value in result.get("latencies", ()))
+    totals = {"shed": 0, "errors": 0, "hits": 0, "ops": 0}
+    dropped = 0
+    for result in results:
+        dropped += int(result.get("dropped", 0))
+        for key in totals:
+            totals[key] += result.get("counters", {}).get(key, 0)
+    return {
+        "workload": spec.name,
+        "clients": clients,
+        "ops": totals["ops"],
+        "duration_s": round(duration, 4),
+        "ops_per_s": round(totals["ops"] / duration, 1)
+        if duration > 0 else 0.0,
+        "p50_ms": round(_percentile(latencies, 50) * 1e3, 3),
+        "p95_ms": round(_percentile(latencies, 95) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 99) * 1e3, 3),
+        "hits": totals["hits"],
+        "shed_retries": totals["shed"],
+        "errors": totals["errors"],
+        "dropped_connections": dropped,
+    }
+
+
+def format_report(report: Dict[str, object]) -> str:
+    return "\n".join([
+        f"loadgen: workload {report['workload']} x "
+        f"{report['clients']} client(s), {report['ops']} ops in "
+        f"{report['duration_s']}s",
+        f"  throughput: {report['ops_per_s']} ops/s",
+        f"  latency ms: p50={report['p50_ms']} "
+        f"p95={report['p95_ms']} p99={report['p99_ms']}",
+        f"  shed retries: {report['shed_retries']}  "
+        f"dropped connections: {report['dropped_connections']}  "
+        f"errors: {report['errors']}",
+    ])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.loadgen",
+        description="YCSB load generator for the repro serve layer")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--workload", default="C",
+                        help="YCSB workload: A/B/C/D/F or "
+                             "'ycsb-a' aliases (default: C)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent client threads (default: 4)")
+    parser.add_argument("--ops", type=int, default=1000,
+                        help="total operations across all clients")
+    parser.add_argument("--records", type=int, default=256,
+                        help="preloaded keyspace size (default: 256)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--value-bytes", type=int, default=None,
+                        help="value size (default: the workload's "
+                             "record_bytes)")
+    parser.add_argument("--no-preload", action="store_true",
+                        help="skip preloading the keyspace")
+    parser.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    options = build_parser().parse_args(argv)
+    try:
+        report = run_load(
+            options.host, options.port, workload=options.workload,
+            clients=options.clients, ops=options.ops,
+            records=options.records, seed=options.seed,
+            value_bytes=options.value_bytes,
+            preload=not options.no_preload)
+    except (ValueError, LoadError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if options.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    failed = report["dropped_connections"] or report["errors"]
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,523 @@
+"""The selectors-based TCP server hosting the partitioned KV app.
+
+One thread, one event loop (the paper's memcached is event-based,
+§9.2): a non-blocking listener plus per-connection sessions, each
+with its own :class:`~repro.serve.framing.RequestFramer`.  Complete
+requests are *not* executed inline — they enter a bounded pending
+queue, and each scheduling round pops up to ``batch`` of them into a
+single :meth:`~repro.serve.engine.SecureKVEngine.execute` drive.
+That is the batching the evaluation measures: enclave-transition and
+scheduler fixed costs are paid per *round*, so many concurrent
+clients share them (``serve.batch_size`` / ``serve.queue_depth``
+histograms show the effect; ``bench_serve`` quantifies it).
+
+Admission control: when the pending queue is full the request is
+answered ``SERVER_BUSY`` immediately and counted in ``serve.shed`` —
+the queue bounds memory and tail latency instead of accepting
+unbounded work.
+
+Shutdown is drain-and-stop: :meth:`PrivagicServer.request_stop`
+(signal-safe; the CLI wires SIGINT to it) stops accepting, the
+remaining queue is executed, reply buffers are flushed, and only
+then do the sockets close.  A :class:`~repro.errors.RuntimeFault`
+raised by the engine mid-drive (chaos injection, integrity
+violation) aborts instead: sockets close immediately and the typed
+fault propagates to the caller — over TCP, a chaos run still ends
+with the PR-4 exit codes.
+
+Untrusted-store integrity: the cache holding the actual bytes is
+untrusted (:class:`~repro.apps.minicache.server.MiniCache`); the
+enclave index keeps a digest per key.  Every reply is cross-checked
+and a mismatch raises :class:`~repro.errors.IagoFault` — the server
+detects a lying store rather than serving its answer.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.apps.minicache import protocol
+from repro.apps.minicache.server import MiniCache
+from repro.errors import IagoFault, RuntimeFault
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.engine import SecureKVEngine
+from repro.serve.framing import RequestFramer
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                  # 0 = ephemeral, see bind()
+    batch: int = 16                # max requests per engine drive
+    queue_depth: int = 128         # pending-queue bound (admission)
+    capacity_bytes: int = 64 * 1024 * 1024   # untrusted cache LRU
+    engine: Optional[str] = None   # interpreter engine name
+    max_steps: int = 50_000_000    # per-drive scheduler budget
+    watchdog_steps: Optional[int] = None
+    max_requests: Optional[int] = None  # accept N requests, then drain
+    idle_poll: float = 0.05        # selector timeout when queue empty
+    drain_timeout: float = 5.0     # reply-flush deadline on shutdown
+
+
+class _Connection:
+    """One client session: framer in, reply buffer out."""
+
+    __slots__ = ("sock", "addr", "conn_id", "framer", "out",
+                 "closed", "close_after_flush", "requests")
+
+    def __init__(self, sock: socket.socket, addr, conn_id: int,
+                 framer: RequestFramer):
+        self.sock = sock
+        self.addr = addr
+        self.conn_id = conn_id
+        self.framer = framer
+        self.out = bytearray()
+        self.closed = False
+        self.close_after_flush = False
+        self.requests = 0
+
+    @property
+    def track(self) -> str:
+        return f"conn.{self.conn_id}"
+
+
+#: A queued request: (connection, raw text, parse result or None,
+#: enqueue timestamp in tracer microseconds).
+_Pending = Tuple[_Connection, str, Optional[protocol.Request], float]
+
+
+class PrivagicServer:
+    """The serving loop (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        A :class:`ServeConfig`; defaults throughout.
+    registry:
+        Publish ``serve.*`` metrics into an existing
+        :class:`~repro.obs.metrics.MetricsRegistry` (the CLI passes
+        the Observability registry so everything lands in one
+        ``--stats`` dump); a private one is created otherwise.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` for the
+        per-request accept→enqueue→execute→reply span stream.
+    engine:
+        An existing :class:`SecureKVEngine` (tests, benchmarks with a
+        shared pre-compiled program); built from the config if
+        omitted.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer=None,
+                 engine: Optional[SecureKVEngine] = None):
+        self.config = config or ServeConfig()
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.tracer = tracer
+        self.engine = engine if engine is not None else SecureKVEngine(
+            engine=self.config.engine,
+            max_steps=self.config.max_steps,
+            watchdog_steps=self.config.watchdog_steps)
+        self.cache = MiniCache(capacity_bytes=self.config.capacity_bytes)
+        self._evicted: List[str] = []
+        self.cache.on_evict = self._evicted.append
+        self.pending: Deque[_Pending] = deque()
+        self.selector: Optional[selectors.BaseSelector] = None
+        self.listener: Optional[socket.socket] = None
+        self.connections: Dict[int, _Connection] = {}
+        self.port: Optional[int] = None
+        self.drained = False
+        self.fault: Optional[BaseException] = None
+        self._stop = False
+        self._accepted = 0          # requests admitted to the queue
+        self._next_conn_id = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def bind(self) -> int:
+        """Create and register the listening socket; returns the
+        bound port (meaningful with the ephemeral ``port=0``)."""
+        if self.listener is not None:
+            return self.port
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.config.host, self.config.port))
+        sock.listen(128)
+        sock.setblocking(False)
+        self.selector = selectors.DefaultSelector()
+        self.selector.register(sock, selectors.EVENT_READ, None)
+        self.listener = sock
+        self.port = sock.getsockname()[1]
+        return self.port
+
+    def request_stop(self) -> None:
+        """Ask the loop to drain and shut down.  Only sets a flag, so
+        it is safe from signal handlers and other threads."""
+        self._stop = True
+
+    def serve_forever(self) -> None:
+        """Run until :meth:`request_stop` (drains cleanly) or a
+        :class:`RuntimeFault` (aborts, fault re-raised)."""
+        if self.listener is None:
+            self.bind()
+        try:
+            while not self._stop:
+                timeout = 0.0 if self.pending else \
+                    self.config.idle_poll
+                for key, mask in self.selector.select(timeout):
+                    if key.data is None:
+                        self._accept_ready()
+                    else:
+                        conn = key.data
+                        if mask & selectors.EVENT_READ:
+                            self._on_readable(conn)
+                        if not conn.closed and \
+                                mask & selectors.EVENT_WRITE:
+                            self._flush(conn)
+                if self.pending:
+                    self._drive_round()
+            self._drain()
+        except RuntimeFault as fault:
+            self.fault = fault
+            self._abort()
+            raise
+        finally:
+            self._close_listener()
+            if self.selector is not None:
+                self.selector.close()
+                self.selector = None
+
+    # -- accept / read -----------------------------------------------------------
+
+    def _accept_ready(self) -> None:
+        while True:
+            try:
+                sock, addr = self.listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP,
+                                socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            self._next_conn_id += 1
+            conn = _Connection(sock, addr, self._next_conn_id,
+                               RequestFramer())
+            self.connections[sock.fileno()] = conn
+            self.selector.register(sock, selectors.EVENT_READ, conn)
+            self.registry.inc("serve.connections")
+            self.registry.gauge("serve.open_connections").inc()
+            if self.tracer is not None:
+                self.tracer.serve_mark("accept", conn.track,
+                                       {"peer": f"{addr[0]}:{addr[1]}"})
+
+    def _on_readable(self, conn: _Connection) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close(conn)
+            return
+        if not data:
+            self._close(conn)
+            return
+        self.registry.inc("serve.bytes_in", len(data))
+        conn.framer.feed(data)
+        frames, error = conn.framer.drain()
+        for raw in frames:
+            self._enqueue(conn, raw)
+        if error is not None:
+            # Desync: one ERROR, then cut the connection off.
+            self.registry.inc("serve.bad_frames")
+            conn.out += protocol.ERROR.encode("latin-1")
+            conn.close_after_flush = True
+            self._flush(conn)
+
+    def _enqueue(self, conn: _Connection, raw: str) -> None:
+        conn.requests += 1
+        full = len(self.pending) >= self.config.queue_depth
+        if full or self._stop:
+            # Admission control: answer immediately, never queue.
+            self.registry.inc("serve.shed")
+            conn.out += protocol.SERVER_BUSY.encode("latin-1")
+            if self.tracer is not None:
+                self.tracer.serve_mark(
+                    "shed", conn.track,
+                    {"reason": "queue_full" if full else "draining"})
+            self._flush(conn)
+            return
+        try:
+            request: Optional[protocol.Request] = \
+                protocol.parse_request(raw)
+        except protocol.ProtocolError:
+            request = None
+        ts = self.tracer.now_us() if self.tracer is not None else 0.0
+        self.pending.append((conn, raw, request, ts))
+        self._accepted += 1
+        self.registry.inc("serve.requests")
+        if self.tracer is not None:
+            self.tracer.serve_mark("enqueue", conn.track,
+                                   {"depth": len(self.pending)})
+        limit = self.config.max_requests
+        if limit is not None and self._accepted >= limit:
+            self._stop = True
+
+    # -- the batched scheduling round --------------------------------------------
+
+    def _drive_round(self) -> None:
+        """Pop up to ``batch`` pending requests and serve them with
+        one engine drive."""
+        batch: List[_Pending] = []
+        while self.pending and len(batch) < self.config.batch:
+            batch.append(self.pending.popleft())
+        self.registry.observe("serve.batch_size", len(batch))
+        self.registry.observe("serve.queue_depth",
+                              len(self.pending) + len(batch))
+        self.registry.inc("serve.drives")
+        tracer = self.tracer
+        t0 = tracer.now_us() if tracer is not None else 0.0
+        steps_before = self.engine.steps
+        responses = self._execute(batch)
+        if tracer is not None:
+            t1 = tracer.now_us()
+            tracer.serve_span(
+                "execute", "serve", t0, t1 - t0,
+                {"batch": len(batch),
+                 "steps": self.engine.steps - steps_before})
+        touched = []
+        for (conn, _raw, _request, t_enq), response in \
+                zip(batch, responses):
+            if conn.closed:
+                continue
+            conn.out += response.encode("latin-1")
+            self.registry.inc("serve.replies")
+            if tracer is not None:
+                tracer.serve_span("queued", conn.track, t_enq,
+                                  t0 - t_enq)
+                tracer.serve_mark("reply", conn.track,
+                                  {"bytes": len(response)})
+            touched.append(conn)
+        for conn in touched:
+            if not conn.closed:
+                self._flush(conn)
+
+    def _execute(self, batch: List[_Pending]) -> List[str]:
+        """Serve one batch: untrusted cache first (it owns the
+        bytes), then a single secure drive over the whole batch, then
+        the per-reply integrity cross-check."""
+        responses: List[str] = []
+        engine_ops: List[tuple] = []
+        op_counts: List[int] = []
+        for conn, raw, request, _ts in batch:
+            self._evicted.clear()
+            response = self.cache.handle(raw)
+            responses.append(response)
+            if request is None:
+                op_counts.append(0)
+                continue
+            before = len(engine_ops)
+            if request.command == "set":
+                engine_ops.append(("set", request.key, request.data))
+                # LRU victims leave the untrusted store; the enclave
+                # index must forget them in the same round, in order.
+                for victim in self._evicted:
+                    engine_ops.append(("delete", victim))
+            elif request.command == "get":
+                engine_ops.append(("get", request.key))
+            elif request.command == "delete":
+                engine_ops.append(("delete", request.key))
+            op_counts.append(len(engine_ops) - before)
+        replies = self.engine.execute(engine_ops)
+        index = 0
+        for (conn, raw, request, _ts), response, count in \
+                zip(batch, responses, op_counts):
+            if count:
+                self._verify(request, response,
+                             replies[index:index + count])
+                index += count
+        return responses
+
+    def _verify(self, request: protocol.Request, response: str,
+                replies: List[int]) -> None:
+        """Cross-check the untrusted store's answer against the
+        enclave index (see module docstring)."""
+        first = replies[0]
+        if request.command == "get":
+            value = protocol.parse_value_response(response)
+            if value is None:
+                if first != 0:
+                    raise IagoFault(
+                        f"untrusted store reports a miss for key "
+                        f"{request.key!r} but the enclave index "
+                        f"holds digest {first:#x}")
+            elif SecureKVEngine.digest(value) != first:
+                raise IagoFault(
+                    f"untrusted store returned a value for key "
+                    f"{request.key!r} that does not match the "
+                    f"enclave digest")
+        elif request.command == "set":
+            bad = [r for r in replies if r != 1]
+            if response != protocol.STORED or bad:
+                raise IagoFault(
+                    f"set of key {request.key!r} did not commit "
+                    f"consistently (store: {response.strip()!r}, "
+                    f"enclave replies: {replies})")
+        elif request.command == "delete":
+            store_found = response == protocol.DELETED
+            if store_found != (first == 1):
+                raise IagoFault(
+                    f"delete of key {request.key!r} disagrees: "
+                    f"store found={store_found}, enclave "
+                    f"found={first == 1}")
+
+    # -- writes / teardown -------------------------------------------------------
+
+    def _flush(self, conn: _Connection) -> None:
+        """Write as much of the reply buffer as the socket takes;
+        keep WRITE interest while any remains."""
+        while conn.out:
+            try:
+                sent = conn.sock.send(conn.out)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close(conn)
+                return
+            if sent <= 0:
+                break
+            self.registry.inc("serve.bytes_out", sent)
+            del conn.out[:sent]
+        if conn.out:
+            events = selectors.EVENT_READ | selectors.EVENT_WRITE
+        else:
+            events = selectors.EVENT_READ
+            if conn.close_after_flush:
+                self._close(conn)
+                return
+        try:
+            self.selector.modify(conn.sock, events, conn)
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _close(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        try:
+            self.selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        self.connections.pop(conn.sock.fileno(), None)
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self.registry.gauge("serve.open_connections").dec()
+        if self.tracer is not None:
+            self.tracer.serve_mark("close", conn.track,
+                                   {"requests": conn.requests})
+
+    def _close_listener(self) -> None:
+        if self.listener is None:
+            return
+        try:
+            if self.selector is not None:
+                self.selector.unregister(self.listener)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+        self.listener = None
+
+    def _drain(self) -> None:
+        """Graceful shutdown: serve the remaining queue, flush every
+        reply buffer, then close."""
+        self._close_listener()
+        while self.pending:
+            self._drive_round()
+        deadline = time.monotonic() + self.config.drain_timeout
+        while time.monotonic() < deadline:
+            unflushed = [conn for conn in
+                         list(self.connections.values())
+                         if conn.out and not conn.closed]
+            if not unflushed:
+                break
+            for conn in unflushed:
+                self._flush(conn)
+            time.sleep(0.005)
+        self.drained = not self.pending and not any(
+            conn.out for conn in self.connections.values())
+        for conn in list(self.connections.values()):
+            self._close(conn)
+
+    def _abort(self) -> None:
+        """Fault path: no drain, close everything now."""
+        self._close_listener()
+        self.pending.clear()
+        for conn in list(self.connections.values()):
+            self._close(conn)
+
+
+class ServerThread:
+    """Run a :class:`PrivagicServer` on a daemon thread — the shape
+    tests, the benchmark and the check.sh smoke share.
+
+    A fault raised by the serving loop is captured in :attr:`error`
+    (the typed :class:`RuntimeFault` a chaos run ends with).
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 **kwargs):
+        self.server = PrivagicServer(config, **kwargs)
+        self.error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> int:
+        """Bind, start serving in the background; returns the port."""
+        port = self.server.bind()
+
+        def run():
+            try:
+                self.server.serve_forever()
+            except BaseException as error:   # captured for the owner
+                self.error = error
+
+        self._thread = threading.Thread(target=run, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        return port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain and join; raises if the loop did not finish."""
+        self.server.request_stop()
+        self.join(timeout)
+
+    def join(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("serve loop did not stop in time")
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            self.stop()

@@ -52,8 +52,33 @@ _SPECS = {w.name: w for w in (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C,
                               WORKLOAD_D, WORKLOAD_F)}
 
 
+def workload_names() -> List[str]:
+    """The canonical workload names, in YCSB order."""
+    return list(_SPECS)
+
+
 def workload_by_name(name: str) -> WorkloadSpec:
-    return _SPECS[name.upper()]
+    """Look up a workload by name.
+
+    Accepts the canonical single letter in either case (``"A"``,
+    ``"c"``) and the spelled-out aliases YCSB tooling uses
+    (``"ycsb-a"``, ``"ycsb_a"``, ``"workload-a"``, ``"workloada"``).
+    Unknown names raise a :class:`ValueError` that lists the valid
+    choices instead of a bare ``KeyError``.
+    """
+    normalized = name.strip().upper().replace("_", "-")
+    for prefix in ("YCSB-", "YCSB", "WORKLOAD-", "WORKLOAD"):
+        if normalized.startswith(prefix) and \
+                len(normalized) > len(prefix):
+            normalized = normalized[len(prefix):]
+            break
+    spec = _SPECS.get(normalized)
+    if spec is None:
+        valid = ", ".join(_SPECS)
+        raise ValueError(
+            f"unknown YCSB workload {name!r}: valid workloads are "
+            f"{valid} (aliases like 'ycsb-a' work too)")
+    return spec
 
 
 class Workload:

@@ -125,6 +125,45 @@ def test_protocol_endpoint():
     assert cache.stats.bad_requests == 1
 
 
+@pytest.mark.parametrize("raw", [
+    "",                                   # empty input
+    "\r\n",                               # empty line
+    "get\r\n",                            # missing key
+    "get a b\r\n",                        # too many keys
+    "set k 0 0 abc\r\nxxx\r\n",           # non-numeric byte count
+    "set k 0 0 -3\r\n\r\n",               # negative byte count
+    "set k x 0 1\r\na\r\n",               # non-numeric flags
+    "set k 0 0 10\r\nshort\r\n",          # size/data mismatch
+    "set k 0 0\r\n",                      # wrong arity
+    "set " + "k" * 300 + " 0 0 1\r\na\r\n",   # oversized key
+    "set k 0 0 %d\r\n%s\r\n" % (protocol.MAX_DATA_BYTES + 1,
+                                "x" * 8),     # oversized data claim
+    "set k 0 0 1\r\n€\r\n",          # non-latin-1 data
+    "delete\r\n",                         # missing key
+    "flush_all\r\n",                      # unsupported command
+])
+def test_handle_never_crashes_on_malformed_input(raw):
+    """Every malformed request is an ERROR reply, not an exception —
+    the cache sits behind a socket and must survive arbitrary bytes."""
+    cache = MiniCache()
+    assert cache.handle(raw) == protocol.ERROR
+    assert cache.stats.bad_requests == 1
+    # And the cache still works afterwards.
+    assert cache.handle(protocol.encode_set("ok", b"v")) == \
+        protocol.STORED
+
+
+def test_handle_key_and_data_at_the_limits_are_accepted():
+    cache = MiniCache(capacity_bytes=4 * protocol.MAX_DATA_BYTES)
+    key = "k" * protocol.MAX_KEY_BYTES
+    data = b"d" * protocol.MAX_DATA_BYTES
+    assert cache.handle(protocol.encode_set(key, data)) == \
+        protocol.STORED
+    assert protocol.parse_value_response(
+        cache.handle(protocol.encode_get(key))) == data
+    assert cache.stats.bad_requests == 0
+
+
 def test_worker_pool_round_robin():
     cache = MiniCache()
     pool = WorkerPool(cache, workers=3)

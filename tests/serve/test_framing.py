@@ -1,0 +1,106 @@
+"""RequestFramer: incremental framing + desync rejection."""
+
+import pytest
+
+from repro.serve.framing import FrameError, RequestFramer
+
+
+def drain_all(framer):
+    frames, error = framer.drain()
+    assert error is None
+    return frames
+
+
+def test_single_line_frames():
+    framer = RequestFramer()
+    framer.feed(b"get user1\r\ndelete user2\r\n")
+    assert drain_all(framer) == ["get user1\r\n", "delete user2\r\n"]
+    assert framer.pending_bytes == 0
+
+
+def test_partial_header_waits():
+    framer = RequestFramer()
+    framer.feed(b"get use")
+    assert drain_all(framer) == []
+    framer.feed(b"r1\r\n")
+    assert drain_all(framer) == ["get user1\r\n"]
+
+
+def test_set_waits_for_data_block():
+    framer = RequestFramer()
+    framer.feed(b"set k 0 0 5\r\nhel")
+    assert drain_all(framer) == []
+    framer.feed(b"lo\r\n")
+    assert drain_all(framer) == ["set k 0 0 5\r\nhello\r\n"]
+
+
+def test_set_data_may_contain_crlf():
+    framer = RequestFramer()
+    framer.feed(b"set k 0 0 6\r\na\r\nb!!\r\nget x\r\n")
+    assert drain_all(framer) == ["set k 0 0 6\r\na\r\nb!!\r\n",
+                                 "get x\r\n"]
+
+
+def test_garbage_line_is_a_recoverable_frame():
+    # Unknown commands still frame; the protocol layer answers ERROR
+    # and the connection survives.
+    framer = RequestFramer()
+    framer.feed(b"bogus stuff here\r\nget k\r\n")
+    assert drain_all(framer) == ["bogus stuff here\r\n", "get k\r\n"]
+
+
+def test_empty_line_is_a_recoverable_frame():
+    framer = RequestFramer()
+    framer.feed(b"\r\n")
+    assert drain_all(framer) == ["\r\n"]
+
+
+def test_oversized_header_is_a_desync():
+    framer = RequestFramer(max_line=64)
+    framer.feed(b"g" * 100)
+    frames, error = framer.drain()
+    assert frames == []
+    assert isinstance(error, FrameError)
+    # Broken framer ignores further input.
+    framer.feed(b"get k\r\n")
+    assert framer.drain() == ([], None)
+
+
+def test_set_bad_byte_count_is_a_desync():
+    for count in (b"abc", b"-3"):
+        framer = RequestFramer()
+        framer.feed(b"set k 0 0 " + count + b"\r\n")
+        frames, error = framer.drain()
+        assert frames == []
+        assert isinstance(error, FrameError)
+
+
+def test_set_oversized_data_is_a_desync():
+    framer = RequestFramer(max_data=16)
+    framer.feed(b"set k 0 0 1000\r\n")
+    _frames, error = framer.drain()
+    assert isinstance(error, FrameError)
+
+
+def test_set_unterminated_data_is_a_desync():
+    framer = RequestFramer()
+    framer.feed(b"set k 0 0 5\r\nhelloXXget k\r\n")
+    frames, error = framer.drain()
+    assert frames == []
+    assert isinstance(error, FrameError)
+
+
+def test_set_with_wrong_arity_frames_as_one_line():
+    # No byte count to trust: treated as a single-line frame the
+    # protocol layer rejects (ERROR), not a desync.
+    framer = RequestFramer()
+    framer.feed(b"set k 0 0\r\nget x\r\n")
+    assert drain_all(framer) == ["set k 0 0\r\n", "get x\r\n"]
+
+
+def test_frames_yielded_before_a_desync_survive():
+    framer = RequestFramer()
+    framer.feed(b"get a\r\nset k 0 0 zz\r\n")
+    frames, error = framer.drain()
+    assert frames == ["get a\r\n"]
+    assert isinstance(error, FrameError)

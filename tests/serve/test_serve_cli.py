@@ -1,0 +1,103 @@
+"""``repro serve`` / ``repro loadgen`` end-to-end: real subprocess,
+real sockets, typed exit codes."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.serve.loadgen import LoadClient, LoadError
+
+pytestmark = pytest.mark.net
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def spawn_serve(*extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(REPO_SRC)
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=env)
+    line = proc.stdout.readline()
+    assert line.startswith("serve: listening on "), line
+    port = int(line.split()[3].rsplit(":", 1)[1])
+    return proc, port
+
+
+def test_serve_loadgen_roundtrip(capsys):
+    # Preload (32 records) + 200 workload-C reads = exactly 232
+    # requests, after which the server drains itself and exits.
+    proc, port = spawn_serve("--max-requests", "232", "--stats")
+    try:
+        code = main(["loadgen", "--port", str(port),
+                     "--workload", "C", "--clients", "4",
+                     "--ops", "200", "--records", "32",
+                     "--value-bytes", "32"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dropped connections: 0" in out
+        assert "throughput:" in out and "ops/s" in out
+        stdout, stderr = proc.communicate(timeout=30)
+    finally:
+        proc.kill()
+    assert proc.returncode == 0, stderr
+    assert "serve: drained cleanly:" in stdout
+    assert "serve.batch_size" in stdout      # --stats dump
+
+
+def test_serve_loadgen_json_report(capsys):
+    import json
+
+    # Preload (16) + 30 workload-A ops (reads and updates are one
+    # request each) = exactly 46 requests.
+    proc, port = spawn_serve("--max-requests", "46")
+    try:
+        code = main(["loadgen", "--port", str(port),
+                     "--workload", "A", "--clients", "2",
+                     "--ops", "30", "--records", "16", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["workload"] == "A"
+        assert report["dropped_connections"] == 0
+        assert {"ops_per_s", "p50_ms", "p95_ms", "p99_ms"} \
+            <= report.keys()
+        proc.communicate(timeout=30)
+    finally:
+        proc.kill()
+    assert proc.returncode == 0
+
+
+def test_serve_chaos_over_tcp_exits_with_typed_code():
+    proc, port = spawn_serve("--inject", "channel-drop:*:spawn:1")
+    try:
+        client = LoadClient("127.0.0.1", port, timeout=5.0)
+        try:
+            client.set("k", b"v")
+        except (LoadError, OSError):
+            pass
+        client.close()
+        stdout, stderr = proc.communicate(timeout=30)
+    finally:
+        proc.kill()
+    assert proc.returncode == 4, (stdout, stderr)
+    assert "chaos: injecting [channel-drop:*:spawn:1]" in stderr
+    assert "fault[DeadlockFault] exit=4:" in stderr
+
+
+def test_loadgen_unknown_workload_is_an_error(capsys):
+    assert main(["loadgen", "--port", "1", "--workload",
+                 "ycsb-z"]) == 1
+    assert "unknown YCSB workload" in capsys.readouterr().err
+
+
+def test_loadgen_connection_refused_is_oserror_exit(capsys):
+    # Nothing listens on the discard port; exit code 2 is the OSError
+    # lane of the CLI exit-code table.
+    assert main(["loadgen", "--port", "9", "--ops", "4",
+                 "--clients", "1"]) == 2

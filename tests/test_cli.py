@@ -288,3 +288,50 @@ def test_run_watchdog_steps_flag(fig7_file, capsys):
     assert code == 7
     assert "fault[WatchdogTimeout] exit=7:" in captured.err
     assert "watchdog budget of 3 step(s)" in captured.err
+
+
+# -- exit-code table -----------------------------------------------------------
+
+
+def test_exit_code_table_is_complete_and_consistent():
+    """``exit_code_table()`` is the single source of truth: one row
+    per code 0-8, and the fault rows agree with ``fault_exit_code``."""
+    from repro.errors import (
+        DeadlockFault,
+        EnclaveCrash,
+        IagoFault,
+        SGXAccessViolation,
+        WatchdogTimeout,
+        exit_code_table,
+        fault_exit_code,
+    )
+
+    table = exit_code_table()
+    assert [code for code, _, _ in table] == list(range(9))
+    by_name = {name: code for code, name, _ in table}
+    for cls in (DeadlockFault, IagoFault, EnclaveCrash,
+                WatchdogTimeout, SGXAccessViolation):
+        assert by_name[cls.__name__] == fault_exit_code(cls("x"))
+    assert by_name["success"] == 0
+    assert by_name["PrivagicError"] == 1
+    assert by_name["OSError"] == 2
+    assert by_name["RuntimeFault"] == 3
+    # Every meaning is a non-empty human sentence fragment.
+    assert all(meaning.strip() for _, _, meaning in table)
+
+
+def test_readme_exit_code_table_matches_source_of_truth():
+    """The README table is asserted against the code, not hand-kept:
+    every row generated from ``exit_code_table()`` must appear
+    verbatim."""
+    import os
+
+    from repro.errors import exit_code_table
+
+    readme = os.path.join(os.path.dirname(__file__), "..",
+                          "README.md")
+    with open(readme, encoding="utf-8") as handle:
+        text = handle.read()
+    for code, name, meaning in exit_code_table():
+        row = f"| {code} | `{name}` | {meaning} |"
+        assert row in text, f"README is missing the row: {row}"

@@ -83,5 +83,26 @@ def test_dataset_properties():
 
 def test_workload_by_name():
     assert workload_by_name("a") is WORKLOAD_A
-    with pytest.raises(KeyError):
+    with pytest.raises(ValueError):
         workload_by_name("Z")
+
+
+def test_workload_by_name_aliases():
+    from repro.workloads.ycsb import WORKLOAD_C, WORKLOAD_F
+    for alias in ("ycsb-a", "YCSB-A", "ycsb_a", "ycsba",
+                  "workload-a", "workloada", " a "):
+        assert workload_by_name(alias) is WORKLOAD_A
+    assert workload_by_name("ycsb-c") is WORKLOAD_C
+    assert workload_by_name("f") is WORKLOAD_F
+
+
+def test_workload_by_name_error_lists_choices():
+    with pytest.raises(ValueError) as excinfo:
+        workload_by_name("ycsb-z")
+    message = str(excinfo.value)
+    assert "'ycsb-z'" in message
+    for letter in "ABCDF":
+        assert letter in message
+    # A bare prefix is not a workload either.
+    with pytest.raises(ValueError):
+        workload_by_name("ycsb")
