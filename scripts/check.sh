@@ -87,3 +87,65 @@ print(f"serve smoke: {report['ops']} ops over TCP OK "
       f"({report['ops_per_s']} ops/s, "
       f"mean batch {hist.mean:.1f}, drained cleanly)")
 PYEOF
+
+# Sharded-serve smoke: 2 shard-worker processes behind the
+# consistent-hash router, a YCSB-A run through real sockets, then a
+# shard-kill recovery check — the deterministic crash fuse fires
+# mid-run and the router must restart the shard and replay its state
+# exactly (zero client-visible errors, ledger intact).
+python - <<'PYEOF'
+from repro.serve import RouterConfig, RouterThread
+from repro.serve.loadgen import run_load
+
+with RouterThread(RouterConfig(port=0, shards=2, batch=8)) as rt:
+    report = run_load("127.0.0.1", rt.router.port, workload="A",
+                      clients=4, ops=200, records=32,
+                      value_bytes=32, seed=5)
+    rt.stop()
+assert rt.error is None, rt.error
+assert rt.router.drained, "router did not drain cleanly"
+assert report["dropped_connections"] == 0, report
+assert report["errors"] == 0, report
+stats = rt.router.stats()
+assert stats["ledger_keys"] > 0 and stats["restarts"] == 0, stats
+print(f"shard smoke: {report['ops']} ops over 2 shards OK "
+      f"({report['ops_per_s']} ops/s, "
+      f"ledger={stats['ledger_keys']} keys)")
+
+with RouterThread(RouterConfig(port=0, shards=2, batch=8,
+                               crash_after={0: 50})) as rt:
+    report = run_load("127.0.0.1", rt.router.port, workload="A",
+                      clients=4, ops=200, records=32,
+                      value_bytes=32, seed=5)
+    rt.stop()
+assert rt.error is None, rt.error
+assert rt.router.drained, "router did not drain after recovery"
+assert report["errors"] == 0, report
+assert report["dropped_connections"] == 0, report
+registry = rt.router.registry
+restarts = registry.counter("router.shard_restarts").get()
+replayed = registry.counter("router.replayed_keys").get()
+assert restarts == 1, f"expected 1 restart, saw {restarts}"
+assert replayed > 0, "recovery replayed no keys"
+print(f"shard smoke: kill+recovery OK (1 restart, "
+      f"{replayed} keys replayed, no client-visible errors)")
+PYEOF
+
+# BENCH_serve regression gate: the committed shard sweep must show
+# sharded serving beating the single-process batched server at 16
+# clients (and >=4x at the 8-shard/64-client tentpole cell).
+python - <<'PYEOF'
+import json
+
+with open("BENCH_serve.json") as handle:
+    sweep = json.load(handle)["shard_sweep"]
+single16 = sweep["single"]["16"]["ops_per_s"]
+best16 = max(cells["16"]["ops_per_s"]
+             for cells in sweep["sharded"].values())
+assert best16 > single16, \
+    f"sharded @16 clients lost: {best16} <= {single16} ops/s"
+gate = sweep["speedup_vs_single"]["8"]["64"]
+assert gate >= 4.0, f"8-shard @64 clients below 4x: {gate}x"
+print(f"bench gate: sharded @16 clients {best16} > single "
+      f"{single16} ops/s; 8 shards @64 clients {gate}x OK")
+PYEOF

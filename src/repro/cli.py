@@ -114,9 +114,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="listening port; 0 picks an ephemeral "
                             "port, printed on startup (default: "
                             "11311)")
+    serve.add_argument("--shards", type=int, default=None,
+                       metavar="N",
+                       help="serve through N shard-worker processes "
+                            "behind a consistent-hash router "
+                            "(default: single-process)")
     serve.add_argument("--batch", type=int, default=16,
                        help="max requests per interpreter drive "
                             "(1 disables batching; default: 16)")
+    serve.add_argument("--batch-window", type=float, default=None,
+                       metavar="SECONDS",
+                       help="adaptive batch-coalescing cap "
+                            "(default: 0.002)")
     serve.add_argument("--queue-depth", type=int, default=128,
                        help="pending-request bound; beyond it "
                             "requests are shed with SERVER_BUSY "
@@ -145,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--chaos-seed", type=int, default=None,
                        metavar="SEED",
                        help="random fault plan from SEED")
+    serve.add_argument("--kill-shard", metavar="K:N", default=None,
+                       help="chaos: shard K simulates an AEX (hard "
+                            "process exit) after N operations "
+                            "(requires --shards)")
+    serve.add_argument("--no-recover", action="store_true",
+                       help="do not restart dead shards; a shard "
+                            "death becomes a typed EnclaveCrash")
     serve.add_argument("--trace", metavar="OUT.json", default=None,
                        help="write a Chrome trace_event JSON of the "
                             "serving run")
@@ -172,6 +188,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "record_bytes)")
     loadgen.add_argument("--no-preload", action="store_true",
                          help="skip preloading the keyspace")
+    loadgen.add_argument("--lockstep", action="store_true",
+                         help="serialize client turns into a seeded "
+                              "global order (fully deterministic "
+                              "interleaving)")
     loadgen.add_argument("--json", action="store_true",
                          help="print the report as JSON")
     return parser
@@ -312,6 +332,12 @@ def cmd_serve(options) -> int:
 
     from repro.serve.server import PrivagicServer, ServeConfig
 
+    if options.shards is not None:
+        return _cmd_serve_sharded(options)
+    if options.kill_shard is not None:
+        print("error: --kill-shard requires --shards",
+              file=sys.stderr)
+        return 1
     obs = None
     if options.trace or options.stats:
         from repro.obs import Observability
@@ -323,6 +349,8 @@ def cmd_serve(options) -> int:
         engine=options.engine, max_steps=options.max_steps,
         watchdog_steps=options.watchdog_steps,
         max_requests=options.max_requests)
+    if options.batch_window is not None:
+        config.batch_window = options.batch_window
     server = PrivagicServer(
         config,
         registry=obs.registry if obs is not None else None,
@@ -373,6 +401,91 @@ def cmd_serve(options) -> int:
     return 0
 
 
+def _parse_kill_shard(spec: str, shards: int):
+    """``K:N`` — shard K hard-exits after N operations."""
+    try:
+        index_text, after_text = spec.split(":", 1)
+        index, after = int(index_text), int(after_text)
+    except ValueError:
+        raise PrivagicError(
+            f"--kill-shard wants K:N (shard index, op count), "
+            f"got {spec!r}")
+    if not 0 <= index < shards:
+        raise PrivagicError(
+            f"--kill-shard index {index} out of range for "
+            f"{shards} shard(s)")
+    if after < 1:
+        raise PrivagicError(
+            f"--kill-shard op count must be >= 1, got {after}")
+    return {index: after}
+
+
+def _cmd_serve_sharded(options) -> int:
+    import signal
+    import threading
+
+    from repro.serve.router import RouterConfig, ShardRouter
+
+    if options.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 1
+    obs = None
+    if options.trace or options.stats:
+        from repro.obs import Observability
+        obs = Observability(trace=options.trace is not None)
+    config = RouterConfig(
+        host=options.host, port=options.port,
+        shards=options.shards, batch=options.batch,
+        batch_window=options.batch_window,
+        queue_depth=options.queue_depth,
+        capacity_bytes=options.capacity_bytes,
+        engine=options.engine, max_steps=options.max_steps,
+        watchdog_steps=options.watchdog_steps,
+        max_requests=options.max_requests,
+        recover=not options.no_recover,
+        crash_after=_parse_kill_shard(options.kill_shard,
+                                      options.shards)
+        if options.kill_shard is not None else {},
+        inject=options.inject, chaos_seed=options.chaos_seed)
+    router = ShardRouter(
+        config,
+        registry=obs.registry if obs is not None else None,
+        tracer=obs.tracer if obs is not None else None)
+    port = router.bind()
+    print(f"serve: routing {options.host}:{port} over "
+          f"{options.shards} shard(s) (batch={options.batch}, "
+          f"queue-depth={options.queue_depth}, "
+          f"recover={'on' if config.recover else 'off'})",
+          flush=True)
+    in_main = threading.current_thread() is threading.main_thread()
+    previous_handler = None
+    if in_main:
+        previous_handler = signal.signal(
+            signal.SIGINT, lambda *_args: router.request_stop())
+    try:
+        router.serve_forever()
+    finally:
+        if in_main and previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
+        if obs is not None and options.trace:
+            obs.write_trace(options.trace)
+            print(f"trace: wrote {options.trace} "
+                  f"({len(obs.tracer.events)} events)",
+                  file=sys.stdout if sys.exc_info()[0] is None
+                  else sys.stderr)
+    stats = router.stats()
+    registry = router.registry
+    print(f"serve: "
+          f"{'drained cleanly' if router.drained else 'stopped'}: "
+          f"{stats['routed']} request(s) over {stats['shards']} "
+          f"shard(s), ledger={stats['ledger_keys']} key(s), "
+          f"restarts={stats['restarts']}, "
+          f"shed={registry.counter('router.shed').get()}")
+    if obs is not None and options.stats:
+        print(obs.metrics_text())
+    return 0
+
+
 def cmd_loadgen(options) -> int:
     import json as json_module
 
@@ -384,7 +497,8 @@ def cmd_loadgen(options) -> int:
             clients=options.clients, ops=options.ops,
             records=options.records, seed=options.seed,
             value_bytes=options.value_bytes,
-            preload=not options.no_preload)
+            preload=not options.no_preload,
+            lockstep=options.lockstep)
     except (ValueError, LoadError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -6,24 +6,36 @@ transport: a selectors-based TCP server hosting the compiled
 partitioned KV application behind the minicache text protocol
 (:mod:`repro.serve.server`), the secure-engine bridge that batches
 pending requests into single interpreter drives
-(:mod:`repro.serve.engine`), incremental request framing with
-malformed-input rejection (:mod:`repro.serve.framing`), and a
+(:mod:`repro.serve.engine`), incremental request/response framing
+with malformed-input rejection (:mod:`repro.serve.framing`), a
 multi-threaded YCSB load generator reporting throughput and latency
-percentiles (:mod:`repro.serve.loadgen`).
+percentiles (:mod:`repro.serve.loadgen`), and the sharded
+multi-process tier — consistent hashing
+(:mod:`repro.serve.hashring`), per-shard worker processes
+(:mod:`repro.serve.shard_worker`) and the front router with
+cross-shard integrity checking and exact crash replay
+(:mod:`repro.serve.router`).
 """
 
 from repro.serve.engine import SecureKVEngine
-from repro.serve.framing import FrameError, RequestFramer
+from repro.serve.framing import FrameError, RequestFramer, ResponseFramer
+from repro.serve.hashring import HashRing
 from repro.serve.loadgen import LoadClient, run_load
+from repro.serve.router import RouterConfig, RouterThread, ShardRouter
 from repro.serve.server import PrivagicServer, ServeConfig, ServerThread
 
 __all__ = [
     "FrameError",
+    "HashRing",
     "LoadClient",
     "PrivagicServer",
     "RequestFramer",
+    "ResponseFramer",
+    "RouterConfig",
+    "RouterThread",
     "SecureKVEngine",
     "ServeConfig",
     "ServerThread",
+    "ShardRouter",
     "run_load",
 ]

@@ -130,3 +130,93 @@ class RequestFramer:
         frame = bytes(buf[:total]).decode("latin-1")
         del buf[:total]
         return frame
+
+
+class ResponseFramer:
+    """Accumulates a *response* byte stream; produces complete
+    response strings.
+
+    The shard router is a protocol client towards its workers: it
+    pipelines many requests down one connection and must split the
+    returning stream back into one response per request.  Almost
+    every response is a single line (``STORED``, ``END``,
+    ``DELETED``, ...); a ``get`` hit is the three-part
+    ``VALUE <key> <flags> <bytes>`` header, the counted data block,
+    and the ``END`` trailer line.
+
+    Responses come from a *shard*, not from a client, so any
+    malformation here — an uncountable ``VALUE`` header, a data
+    block without its CRLF, a missing ``END`` trailer — is not
+    recoverable garbage but a shard that stopped speaking the
+    protocol.  The framer raises :class:`FrameError` and the router
+    converts it into the typed
+    :class:`~repro.errors.IagoFault` (a lying shard), never a
+    silently-misparsed reply.
+    """
+
+    def __init__(self, max_line: int = 8192,
+                 max_data: int = protocol.MAX_DATA_BYTES):
+        self.max_line = max_line
+        self.max_data = max_data
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def drain(self) -> List[str]:
+        """All complete responses buffered so far.  Raises
+        :class:`FrameError` on a desynchronized reply stream."""
+        responses: List[str] = []
+        while True:
+            response = self._next_response()
+            if response is None:
+                return responses
+            responses.append(response)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _next_response(self) -> Optional[str]:
+        buf = self._buf
+        idx = buf.find(CRLF)
+        if idx < 0:
+            if len(buf) > self.max_line:
+                raise FrameError(
+                    f"response line exceeds {self.max_line} bytes "
+                    f"without a terminator")
+            return None
+        header = bytes(buf[:idx]).decode("latin-1")
+        if not header.startswith("VALUE "):
+            response = bytes(buf[:idx + 2]).decode("latin-1")
+            del buf[:idx + 2]
+            return response
+        fields = header.split()
+        if len(fields) != 4:
+            raise FrameError(f"malformed VALUE header {header!r}")
+        try:
+            size = int(fields[3])
+        except ValueError:
+            raise FrameError(
+                f"VALUE byte count is not a number: {fields[3]!r}")
+        if size < 0:
+            raise FrameError(f"VALUE byte count is negative: {size}")
+        if size > self.max_data:
+            raise FrameError(
+                f"VALUE data block of {size} bytes exceeds the "
+                f"{self.max_data}-byte limit")
+        # VALUE header CRLF + data CRLF + "END" CRLF
+        total = idx + 2 + size + 2 + 3 + 2
+        if len(buf) < total:
+            return None
+        data_end = idx + 2 + size
+        if bytes(buf[data_end:data_end + 2]) != CRLF:
+            raise FrameError("VALUE data block is not CRLF-terminated")
+        if bytes(buf[data_end + 2:total]) != b"END" + CRLF:
+            raise FrameError("VALUE response is missing its END "
+                             "trailer")
+        response = bytes(buf[:total]).decode("latin-1")
+        del buf[:total]
+        return response

@@ -1,0 +1,113 @@
+"""Consistent hashing over shard workers.
+
+The sharded serving layer (:mod:`repro.serve.router`) places every
+key on exactly one shard.  A plain ``hash(key) % N`` placement would
+reshuffle almost every key whenever ``N`` changes; the classic
+consistent-hashing construction (Karger et al., the memcached client
+libraries' ketama) instead hashes each shard to many *points* on a
+ring and assigns a key to the first shard point clockwise from the
+key's own hash.  Adding or removing one shard then moves only the
+arcs adjacent to its points — ``1/N`` of the keyspace in expectation.
+
+Determinism matters more here than churn (the router spawns a fixed
+worker set and restarts dead workers under the *same* name, so the
+ring never actually changes mid-run): the same shard names must
+produce the same placement in the router, in the recovery replayer
+and in every test oracle, across processes and Python versions.
+Points therefore come from ``blake2b``, never from :func:`hash` with
+its per-process ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring position for ``label``."""
+    raw = hashlib.blake2b(label.encode("utf-8", "surrogateescape"),
+                          digest_size=8).digest()
+    return int.from_bytes(raw, "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Node names (the router uses ``shard0`` .. ``shardN-1``).
+    replicas:
+        Virtual points per node.  More points smooth the ownership
+        spread (64 keeps the max/min share within ~2x for 8 nodes);
+        lookup stays O(log(nodes * replicas)).
+    """
+
+    def __init__(self, nodes: Sequence[str], replicas: int = 64):
+        if not nodes:
+            raise ValueError("a hash ring needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate ring nodes in {list(nodes)}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self.nodes: Tuple[str, ...] = tuple(nodes)
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        pairs = sorted(
+            (_point(f"{node}#{replica}"), node)
+            for node in self.nodes
+            for replica in range(self.replicas))
+        self._points = [point for point, _node in pairs]
+        self._owners = [node for _point, node in pairs]
+
+    # -- lookup ------------------------------------------------------------------
+
+    def lookup(self, key: str) -> str:
+        """The node owning ``key``: the first node point clockwise
+        from the key's hash (wrapping past the top of the ring)."""
+        index = bisect_right(self._points, _point(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    # -- membership --------------------------------------------------------------
+
+    def add(self, node: str) -> None:
+        if node in self.nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        self.nodes = self.nodes + (node,)
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        if node not in self.nodes:
+            raise ValueError(f"node {node!r} is not on the ring")
+        if len(self.nodes) == 1:
+            raise ValueError("cannot remove the last ring node")
+        self.nodes = tuple(n for n in self.nodes if n != node)
+        self._rebuild()
+
+    # -- introspection -----------------------------------------------------------
+
+    def ownership(self) -> Dict[str, float]:
+        """Fraction of the ring each node owns (sums to 1.0) — the
+        rebalance telemetry the router publishes per shard."""
+        span = 1 << 64
+        shares = {node: 0 for node in self.nodes}
+        previous = self._points[-1] - span
+        for point, owner in zip(self._points, self._owners):
+            shares[owner] += point - previous
+            previous = point
+        return {node: arc / span for node, arc in shares.items()}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return (f"<HashRing nodes={len(self.nodes)} "
+                f"replicas={self.replicas}>")

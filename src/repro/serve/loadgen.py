@@ -21,7 +21,9 @@ behind the ``repro loadgen`` CLI command.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import random
 import socket
 import sys
 import threading
@@ -112,9 +114,78 @@ class LoadClient:
         return response
 
 
-def _record_bytes(size: int) -> bytes:
-    """YCSB-style deterministic filler."""
-    return bytes(ord("a") + i % 26 for i in range(size))
+def _record_bytes(size: int, seed: int = 0) -> bytes:
+    """YCSB-style filler, a pure function of (size, seed): a blake2b
+    keystream folded to lowercase letters, so runs with different
+    seeds store distinguishable values (a digest cross-check that
+    passed by payload coincidence is worthless) while the same seed
+    reproduces byte-identical traffic."""
+    if size <= 0:
+        return b""
+    stream = bytearray()
+    block = 0
+    while len(stream) < size:
+        stream += hashlib.blake2b(
+            f"loadgen-record:{seed}:{block}".encode("ascii"),
+            digest_size=32).digest()
+        block += 1
+    return bytes(ord("a") + byte % 26 for byte in stream[:size])
+
+
+def _client_seed(seed: int, index: int) -> int:
+    """A stable per-client stream seed.  Hash-derived rather than
+    ``seed + index * k`` so no two (seed, index) pairs collide — with
+    the linear rule, client 1 of seed 42 replayed client 0 of seed
+    7961 exactly."""
+    raw = hashlib.blake2b(f"loadgen-client:{seed}:{index}".encode(
+        "ascii"), digest_size=8).digest()
+    return int.from_bytes(raw, "big")
+
+
+class _LockstepGate:
+    """Serializes client turns into one seeded global order.
+
+    Thread scheduling is the last nondeterminism in a seeded load
+    run: the *per-client* streams are pure functions of the seed, but
+    the order in which the server observes operations from different
+    clients is whatever the OS scheduler produced.  In lockstep mode
+    each worker takes a turn from this gate before issuing an
+    operation; turns are drawn from a seeded RNG over the clients
+    still running, so the full interleaving — and therefore the exact
+    request sequence the server sees — is a pure function of
+    ``seed``.  Concurrency is deliberately sacrificed; lockstep is
+    for differential and chaos runs, not for throughput numbers.
+    """
+
+    def __init__(self, clients: int, seed: int):
+        self._cond = threading.Condition()
+        self._rng = random.Random(seed)
+        self._active = set(range(clients))
+        self._turn: Optional[int] = None
+        self._pick()
+
+    def _pick(self) -> None:
+        self._turn = self._rng.choice(sorted(self._active)) \
+            if self._active else None
+
+    def acquire(self, index: int) -> None:
+        with self._cond:
+            while self._turn != index:
+                self._cond.wait()
+
+    def release(self, index: int) -> None:
+        with self._cond:
+            self._pick()
+            self._cond.notify_all()
+
+    def retire(self, index: int) -> None:
+        """A worker finished (or died): drop it from the rotation so
+        the remaining workers keep drawing turns."""
+        with self._cond:
+            self._active.discard(index)
+            if self._turn not in self._active:
+                self._pick()
+            self._cond.notify_all()
 
 
 def _request_with_retry(client: LoadClient, encoded: str,
@@ -132,7 +203,8 @@ def _request_with_retry(client: LoadClient, encoded: str,
 
 def _run_worker(host: str, port: int, workload: Workload,
                 record: bytes, barrier: threading.Barrier,
-                result: Dict[str, object]) -> None:
+                result: Dict[str, object], index: int = 0,
+                gate: Optional[_LockstepGate] = None) -> None:
     latencies: List[float] = []
     counters = {"shed": 0, "errors": 0, "hits": 0, "ops": 0}
     result["latencies"] = latencies
@@ -142,33 +214,45 @@ def _run_worker(host: str, port: int, workload: Workload,
         client = LoadClient(host, port)
     except OSError:
         result["dropped"] = 1
+        if gate is not None:
+            gate.retire(index)
         barrier.wait()
         return
     try:
         barrier.wait()
         for op in workload.operations():
             key = f"user{op.key}"
+            if gate is not None:
+                # One whole operation per turn (both halves of an
+                # rmw), so the server-observed order is the gate's.
+                gate.acquire(index)
             t0 = time.perf_counter()
-            if op.kind == "read":
-                response = _request_with_retry(
-                    client, protocol.encode_get(key), counters)
-                if response != protocol.END:
-                    counters["hits"] += 1
-            elif op.kind in ("update", "insert"):
-                _request_with_retry(
-                    client, protocol.encode_set(key, record),
-                    counters)
-            elif op.kind == "rmw":
-                _request_with_retry(
-                    client, protocol.encode_get(key), counters)
-                _request_with_retry(
-                    client, protocol.encode_set(key, record),
-                    counters)
+            try:
+                if op.kind == "read":
+                    response = _request_with_retry(
+                        client, protocol.encode_get(key), counters)
+                    if response != protocol.END:
+                        counters["hits"] += 1
+                elif op.kind in ("update", "insert"):
+                    _request_with_retry(
+                        client, protocol.encode_set(key, record),
+                        counters)
+                elif op.kind == "rmw":
+                    _request_with_retry(
+                        client, protocol.encode_get(key), counters)
+                    _request_with_retry(
+                        client, protocol.encode_set(key, record),
+                        counters)
+            finally:
+                if gate is not None:
+                    gate.release(index)
             latencies.append(time.perf_counter() - t0)
             counters["ops"] += 1
     except (OSError, LoadError):
         result["dropped"] = 1
     finally:
+        if gate is not None:
+            gate.retire(index)
         client.close()
 
 
@@ -183,19 +267,21 @@ def _percentile(sorted_values: List[float], pct: float) -> float:
 def run_load(host: str, port: int, workload: str = "C",
              clients: int = 4, ops: int = 1000, records: int = 256,
              seed: int = 42, value_bytes: Optional[int] = None,
-             preload: bool = True) -> Dict[str, object]:
+             preload: bool = True,
+             lockstep: bool = False) -> Dict[str, object]:
     """Replay ``ops`` total YCSB operations from ``clients`` threads;
     returns the aggregated report (see keys below).
 
-    Each thread gets an independent, deterministically seeded
-    :class:`Workload` stream over the same ``records`` keyspace, so
-    the run is reproducible for a given (workload, clients, ops,
-    seed) tuple.
+    Determinism: every per-client stream (key choice and op mix), the
+    stored payload bytes, and — with ``lockstep`` — the global
+    interleaving the server observes are pure functions of ``seed``.
+    Without ``lockstep`` the interleaving is whatever the thread
+    scheduler produced (the right trade for throughput runs).
     """
     spec = workload_by_name(workload)
     size = value_bytes if value_bytes is not None \
         else spec.record_bytes
-    record = _record_bytes(size)
+    record = _record_bytes(size, seed=seed)
     per_client = max(1, ops // clients)
     if preload:
         client = LoadClient(host, port)
@@ -208,15 +294,16 @@ def run_load(host: str, port: int, workload: str = "C",
         finally:
             client.close()
     barrier = threading.Barrier(clients + 1)
+    gate = _LockstepGate(clients, seed) if lockstep else None
     results: List[Dict[str, object]] = [{} for _ in range(clients)]
     threads = []
     for index in range(clients):
         stream = Workload(spec, records, per_client,
-                          seed=seed + index * 7919)
+                          seed=_client_seed(seed, index))
         thread = threading.Thread(
             target=_run_worker,
             args=(host, port, stream, record, barrier,
-                  results[index]),
+                  results[index], index, gate),
             daemon=True, name=f"loadgen-{index}")
         threads.append(thread)
         thread.start()
@@ -286,6 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "record_bytes)")
     parser.add_argument("--no-preload", action="store_true",
                         help="skip preloading the keyspace")
+    parser.add_argument("--lockstep", action="store_true",
+                        help="serialize client turns into a seeded "
+                             "global order (fully deterministic "
+                             "interleaving; sacrifices concurrency)")
     parser.add_argument("--json", action="store_true",
                         help="print the report as JSON")
     return parser
@@ -299,7 +390,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             clients=options.clients, ops=options.ops,
             records=options.records, seed=options.seed,
             value_bytes=options.value_bytes,
-            preload=not options.no_preload)
+            preload=not options.no_preload,
+            lockstep=options.lockstep)
     except (ValueError, LoadError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -57,6 +57,7 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 0                  # 0 = ephemeral, see bind()
     batch: int = 16                # max requests per engine drive
+    batch_window: float = 0.002    # adaptive coalescing cap, seconds
     queue_depth: int = 128         # pending-queue bound (admission)
     capacity_bytes: int = 64 * 1024 * 1024   # untrusted cache LRU
     engine: Optional[str] = None   # interpreter engine name
@@ -140,6 +141,7 @@ class PrivagicServer:
         self._stop = False
         self._accepted = 0          # requests admitted to the queue
         self._next_conn_id = 0
+        self._oldest_pending_ts = 0.0   # batch-window anchor
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -173,6 +175,7 @@ class PrivagicServer:
             while not self._stop:
                 timeout = 0.0 if self.pending else \
                     self.config.idle_poll
+                before = self._accepted
                 for key, mask in self.selector.select(timeout):
                     if key.data is None:
                         self._accept_ready()
@@ -183,7 +186,7 @@ class PrivagicServer:
                         if not conn.closed and \
                                 mask & selectors.EVENT_WRITE:
                             self._flush(conn)
-                if self.pending:
+                if self.pending and self._round_ready(before):
                     self._drive_round()
             self._drain()
         except RuntimeFault as fault:
@@ -265,6 +268,8 @@ class PrivagicServer:
         except protocol.ProtocolError:
             request = None
         ts = self.tracer.now_us() if self.tracer is not None else 0.0
+        if not self.pending:
+            self._oldest_pending_ts = time.monotonic()
         self.pending.append((conn, raw, request, ts))
         self._accepted += 1
         self.registry.inc("serve.requests")
@@ -276,6 +281,34 @@ class PrivagicServer:
             self._stop = True
 
     # -- the batched scheduling round --------------------------------------------
+
+    def _round_ready(self, accepted_before: int) -> bool:
+        """The adaptive batch window: drive now, or wait one more
+        poll for co-arriving requests?
+
+        Drive immediately when the batch is already full, when every
+        open connection already has a request pending (closed-loop
+        clients cannot send more until answered, so nothing further
+        is coming — in particular a lone client never waits on a
+        window), when the last poll produced *no* new requests, or
+        when the oldest pending request has waited ``batch_window``
+        seconds (bounded added latency even under a continuous
+        trickle).  Only while requests are still streaming in does
+        the loop take another zero-timeout poll first, so concurrent
+        arrivals coalesce into one interpreter drive instead of
+        fragmenting across many — batching can win, never lose.
+        """
+        if len(self.pending) >= self.config.batch:
+            return True
+        if len(self.pending) >= len(self.connections):
+            return True
+        if self._accepted == accepted_before:
+            return True
+        if time.monotonic() - self._oldest_pending_ts \
+                >= self.config.batch_window:
+            return True
+        self.registry.inc("serve.window_waits")
+        return False
 
     def _drive_round(self) -> None:
         """Pop up to ``batch`` pending requests and serve them with

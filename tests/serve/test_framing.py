@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.serve.framing import FrameError, RequestFramer
+from repro.serve.framing import (
+    FrameError,
+    RequestFramer,
+    ResponseFramer,
+)
 
 
 def drain_all(framer):
@@ -104,3 +108,88 @@ def test_frames_yielded_before_a_desync_survive():
     frames, error = framer.drain()
     assert frames == ["get a\r\n"]
     assert isinstance(error, FrameError)
+
+
+# -- ResponseFramer: the router's client-side framing ---------------------------
+
+
+def test_response_single_line_stream():
+    framer = ResponseFramer()
+    framer.feed(b"STORED\r\nDELETED\r\nNOT_FOUND\r\nEND\r\n")
+    assert framer.drain() == ["STORED\r\n", "DELETED\r\n",
+                              "NOT_FOUND\r\n", "END\r\n"]
+    assert framer.pending_bytes == 0
+
+
+def test_response_value_with_data_and_trailer():
+    framer = ResponseFramer()
+    framer.feed(b"VALUE k 0 5\r\nhello\r\nEND\r\nSTORED\r\n")
+    assert framer.drain() == ["VALUE k 0 5\r\nhello\r\nEND\r\n",
+                              "STORED\r\n"]
+
+
+def test_response_partial_reads_across_hops():
+    # A VALUE reply trickling in byte-sized pieces (the shard hop
+    # fragmenting writes) must assemble exactly once.
+    full = b"VALUE k 0 6\r\nab\r\ncd\r\nEND\r\nSTORED\r\n"
+    for cut in range(1, len(full)):
+        framer = ResponseFramer()
+        framer.feed(full[:cut])
+        first = framer.drain()
+        framer.feed(full[cut:])
+        responses = first + framer.drain()
+        assert responses == ["VALUE k 0 6\r\nab\r\ncd\r\nEND\r\n",
+                             "STORED\r\n"], cut
+
+
+def test_response_data_may_contain_value_like_lines():
+    framer = ResponseFramer()
+    payload = b"VALUE fake 0 3\r\n"
+    framer.feed(b"VALUE k 0 %d\r\n%s\r\nEND\r\n"
+                % (len(payload), payload))
+    responses = framer.drain()
+    assert len(responses) == 1
+    assert payload.decode("latin-1") in responses[0]
+
+
+def test_response_oversized_line_is_a_desync():
+    framer = ResponseFramer(max_line=32)
+    framer.feed(b"X" * 64)
+    with pytest.raises(FrameError):
+        framer.drain()
+
+
+def test_response_oversized_value_is_a_desync():
+    framer = ResponseFramer(max_data=16)
+    framer.feed(b"VALUE k 0 100000\r\n")
+    with pytest.raises(FrameError):
+        framer.drain()
+
+
+def test_response_bad_value_count_is_a_desync():
+    for count in (b"abc", b"-3"):
+        framer = ResponseFramer()
+        framer.feed(b"VALUE k 0 " + count + b"\r\n")
+        with pytest.raises(FrameError):
+            framer.drain()
+
+
+def test_response_malformed_value_header_is_a_desync():
+    framer = ResponseFramer()
+    framer.feed(b"VALUE k 0\r\n")
+    with pytest.raises(FrameError):
+        framer.drain()
+
+
+def test_response_missing_end_trailer_is_a_desync():
+    framer = ResponseFramer()
+    framer.feed(b"VALUE k 0 2\r\nab\r\nSTORED\r\n")
+    with pytest.raises(FrameError):
+        framer.drain()
+
+
+def test_response_unterminated_data_is_a_desync():
+    framer = ResponseFramer()
+    framer.feed(b"VALUE k 0 5\r\nhelloXXEND\r\nzz")
+    with pytest.raises(FrameError):
+        framer.drain()

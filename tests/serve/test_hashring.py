@@ -1,0 +1,79 @@
+"""Consistent hashing: determinism, spread, minimal churn."""
+
+import pytest
+
+from repro.serve.hashring import HashRing, _point
+
+
+def test_lookup_is_deterministic_across_instances():
+    nodes = [f"shard{i}" for i in range(4)]
+    ring_a = HashRing(nodes)
+    ring_b = HashRing(list(reversed(nodes)))
+    keys = [f"user{i}" for i in range(500)]
+    assert [ring_a.lookup(k) for k in keys] == \
+        [ring_b.lookup(k) for k in keys]
+
+
+def test_points_do_not_depend_on_pythonhashseed():
+    # blake2b, not hash(): the placement must agree across processes.
+    assert _point("shard0#0") == 0x8700D5995A3E4C64
+    assert _point("user1") != _point("user2")
+
+
+def test_ownership_sums_to_one_and_spreads():
+    ring = HashRing([f"shard{i}" for i in range(8)], replicas=64)
+    shares = ring.ownership()
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+    assert min(shares.values()) > 0.0
+    # 64 virtual points keep the imbalance bounded.
+    assert max(shares.values()) / min(shares.values()) < 4.0
+
+
+def test_every_node_owns_some_keys():
+    ring = HashRing([f"shard{i}" for i in range(8)])
+    owners = {ring.lookup(f"user{i}") for i in range(2000)}
+    assert owners == set(ring.nodes)
+
+
+def test_adding_a_node_moves_only_its_arcs():
+    nodes = [f"shard{i}" for i in range(4)]
+    before = HashRing(nodes)
+    after = HashRing(nodes)
+    after.add("shard4")
+    keys = [f"user{i}" for i in range(2000)]
+    moved = sum(before.lookup(k) != after.lookup(k) for k in keys)
+    # Expectation is 1/5 of the keyspace; allow generous slack.
+    assert 0 < moved < len(keys) * 0.4
+    # Every moved key moved *to* the new node, never between
+    # survivors.
+    for key in keys:
+        if before.lookup(key) != after.lookup(key):
+            assert after.lookup(key) == "shard4"
+
+
+def test_remove_is_the_inverse_of_add():
+    ring = HashRing(["shard0", "shard1"])
+    ring.add("shard2")
+    ring.remove("shard2")
+    reference = HashRing(["shard0", "shard1"])
+    keys = [f"user{i}" for i in range(300)]
+    assert [ring.lookup(k) for k in keys] == \
+        [reference.lookup(k) for k in keys]
+
+
+def test_membership_errors():
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing(["a", "a"])
+    with pytest.raises(ValueError):
+        HashRing(["a"], replicas=0)
+    ring = HashRing(["a", "b"])
+    with pytest.raises(ValueError):
+        ring.add("a")
+    with pytest.raises(ValueError):
+        ring.remove("zzz")
+    ring.remove("b")
+    with pytest.raises(ValueError):
+        ring.remove("a")
+    assert len(ring) == 1
