@@ -1,5 +1,5 @@
 """Dispatch micro-benchmark — legacy isinstance dispatch vs the
-pre-decoded closure engine.
+pre-decoded closure engine vs the trace/superinstruction tier.
 
 Measures interpreted steps/sec on three workloads:
 
@@ -153,15 +153,21 @@ def run_dispatch_comparison(repeat: int = 3):
     }
     for name, make in workloads.items():
         timings = {engine: measure(make(engine), repeat=repeat)
-                   for engine in ("legacy", "decoded")}
-        if timings["legacy"].steps != timings["decoded"].steps:
-            raise RuntimeError(
-                f"{name}: engines disagree on step count "
-                f"({timings['legacy'].steps} vs "
-                f"{timings['decoded'].steps})")
+                   for engine in ("legacy", "decoded", "traced")}
+        for engine in ("decoded", "traced"):
+            if timings["legacy"].steps != timings[engine].steps:
+                raise RuntimeError(
+                    f"{name}: engines disagree on step count "
+                    f"(legacy {timings['legacy'].steps} vs {engine} "
+                    f"{timings[engine].steps})")
         entry = {engine: t.as_dict() for engine, t in timings.items()}
         entry["speedup"] = round(speedup(timings["legacy"],
                                          timings["decoded"]), 2)
+        entry["traced_speedup"] = round(speedup(timings["legacy"],
+                                                timings["traced"]), 2)
+        entry["traced_vs_decoded"] = round(speedup(timings["decoded"],
+                                                   timings["traced"]),
+                                           2)
         results["workloads"][name] = entry
     return results
 
@@ -184,7 +190,7 @@ def write_json(results) -> str:
 
 def regenerate_dispatch_report() -> Report:
     report = Report("interp_dispatch",
-                    "Dispatch: pre-decoded engine vs legacy")
+                    "Dispatch: legacy vs pre-decoded vs traced")
     results = run_dispatch_comparison()
     rows = []
     for name, entry in results["workloads"].items():
@@ -192,13 +198,18 @@ def regenerate_dispatch_report() -> Report:
                      entry["legacy"]["steps"],
                      entry["legacy"]["steps_per_sec"],
                      entry["decoded"]["steps_per_sec"],
-                     f"{entry['speedup']:.2f}x"))
+                     entry["traced"]["steps_per_sec"],
+                     f"{entry['speedup']:.2f}x",
+                     f"{entry['traced_speedup']:.2f}x"))
     report.table(("workload", "steps", "legacy steps/s",
-                  "decoded steps/s", "speedup"), rows)
+                  "decoded steps/s", "traced steps/s", "decoded x",
+                  "traced x"), rows)
     report.add()
     fig7 = results["workloads"]["fig7"]["speedup"]
+    fig7_traced = results["workloads"]["fig7"]["traced_vs_decoded"]
     proto = results["workloads"]["fig7_protocol"]["speedup"]
-    report.add(f"Fig 7 workload speedup: {fig7:.2f}x "
+    report.add(f"Fig 7 workload speedup: {fig7:.2f}x decoded, "
+               f"traced {fig7_traced:.2f}x on top "
                f"(protocol-only floor: {proto:.2f}x — the spawn/cont "
                f"message protocol is engine-independent work)")
     path = write_json(results)
@@ -213,6 +224,8 @@ def regenerate_dispatch_report() -> Report:
     if not SMOKE:
         assert fig7 >= 5.0, \
             f"pre-decoded engine below 5x on fig7: {fig7:.2f}x"
+        assert fig7_traced >= 2.5, \
+            f"trace tier below 2.5x decoded on fig7: {fig7_traced:.2f}x"
     return report
 
 

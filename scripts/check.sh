@@ -29,6 +29,20 @@ python -c "import sys; \
     print(f'cli smoke: trace OK ({n} events)')" "$TRACE_OUT"
 rm -f "$TRACE_OUT"
 
+# Traced-engine smoke: the same Fig 7 run through the trace tier
+# (threshold 0 forces compilation even on this small workload) must
+# produce the same exit status and stdout as the decoded default.
+DECODED_OUT=$(python -m repro run examples/fig7.c --mode relaxed)
+TRACED_OUT=$(REPRO_TRACE_THRESHOLD=0 python -m repro run \
+    examples/fig7.c --mode relaxed --engine traced)
+if [ "$DECODED_OUT" != "$TRACED_OUT" ]; then
+    echo "traced smoke: engines disagree:" >&2
+    echo "  decoded: $DECODED_OUT" >&2
+    echo "  traced:  $TRACED_OUT" >&2
+    exit 1
+fi
+echo "cli smoke: traced engine OK (output matches decoded)"
+
 # Pass-pipeline smoke: run an explicit optimization pipeline with the
 # inspection flags, and check the per-pass metrics reach --stats.
 REPRO_VERIFY_EACH_PASS=1 python -m repro compile examples/fig7.c \
@@ -129,6 +143,25 @@ assert restarts == 1, f"expected 1 restart, saw {restarts}"
 assert replayed > 0, "recovery replayed no keys"
 print(f"shard smoke: kill+recovery OK (1 restart, "
       f"{replayed} keys replayed, no client-visible errors)")
+PYEOF
+
+# BENCH_interp regression gate: the committed dispatch numbers must
+# keep the decoded engine >= 5x legacy and the trace tier >= 2.5x
+# decoded on the fig7 workload, so interpreter throughput is enforced
+# going forward, not just recorded.
+python - <<'PYEOF'
+import json
+
+with open("BENCH_interp.json") as handle:
+    workloads = json.load(handle)["workloads"]
+fig7 = workloads["fig7"]
+assert fig7["speedup"] >= 5.0, \
+    f"committed fig7 decoded speedup below 5x: {fig7['speedup']}x"
+assert fig7["traced_vs_decoded"] >= 2.5, \
+    f"committed fig7 traced tier below 2.5x decoded: " \
+    f"{fig7['traced_vs_decoded']}x"
+print(f"bench gate: fig7 decoded {fig7['speedup']}x legacy, "
+      f"traced {fig7['traced_vs_decoded']}x decoded OK")
 PYEOF
 
 # BENCH_serve regression gate: the committed shard sweep must show

@@ -79,7 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="entry point (default: main)")
     run.add_argument("--engine", choices=list(ENGINES), default=None,
                      help="interpreter engine (default: decoded, or "
-                          "REPRO_ENGINE)")
+                          "REPRO_ENGINE; 'traced' adds the hot-loop "
+                          "superinstruction tier, tunable via "
+                          "REPRO_TRACE_THRESHOLD)")
     run.add_argument("--max-steps", type=int, default=None,
                      metavar="N",
                      help="abort the run after N scheduler steps")
@@ -135,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="untrusted cache LRU capacity")
     serve.add_argument("--engine", choices=list(ENGINES),
                        default=None,
-                       help="interpreter engine (default: decoded, "
+                       help="interpreter engine (default: traced, "
                             "or REPRO_ENGINE)")
     serve.add_argument("--max-steps", type=int,
                        default=50_000_000, metavar="N",

@@ -101,7 +101,7 @@ def classify(baseline: Outcome, outcome: Outcome) -> str:
 
 def chaos_sweep(program, seeds: Sequence[int],
                 entry: str = "main", args: Sequence[object] = (),
-                engines: Sequence[str] = ("decoded", "legacy"),
+                engines: Sequence[str] = ("decoded", "traced", "legacy"),
                 externals: Optional[dict] = None,
                 max_steps: int = 5_000_000) -> List[dict]:
     """Run one seeded random plan per (seed, engine) pair and classify
@@ -163,7 +163,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--entry", default="main")
     parser.add_argument("--mode", default="relaxed",
                         choices=["relaxed", "hardened"])
-    parser.add_argument("--engines", default="decoded,legacy")
+    parser.add_argument("--engines", default="decoded,traced,legacy")
     options = parser.parse_args(argv)
 
     with open(options.source) as handle:

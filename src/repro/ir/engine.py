@@ -29,10 +29,19 @@ produce bit-identical memory images.
 
 Decoded code is cached per :class:`~repro.ir.module.Function` on the
 owning :class:`~repro.ir.interp.Machine` and revalidated against a
-cheap structural fingerprint on every call, so IR mutated between
-runs (passes, partitioning) is re-decoded automatically; mutating a
-function *while* it is executing additionally requires
-:meth:`Machine.invalidate_decoded`.
+structural fingerprint (opcode identities, operand identities,
+branch/phi targets — not just shape, so same-shape in-place mutation
+is caught too), so IR mutated between runs (passes, partitioning) is
+re-decoded automatically; mutating a function *while* it is
+executing additionally requires :meth:`Machine.invalidate_decoded`.
+Fingerprints are O(instructions), so they are recomputed only when
+the machine's decode epoch advances (each :meth:`Machine.spawn`) —
+per-call lookups within one run are a dict hit plus an int compare.
+The cache itself is bounded (:data:`~repro.ir.interp.DECODE_CACHE_CAP`
+entries, oldest evicted first): compiled closures strongly reference
+the IR they execute, so weak keying could never collect an entry, and
+without eviction a long-running machine that replaces modules would
+retain every dead function body forever.
 """
 
 from __future__ import annotations
@@ -87,9 +96,14 @@ class OpList(list):
     at ``i``; ``blen[i]`` is that run's length in steps (used to keep
     step budgets exact — a fused run is never entered when it could
     overshoot the remaining limit).
+
+    ``traces`` is None or the :class:`repro.ir.trace.TraceEntry`
+    headed at this block (consulted by the traced engine's
+    ``run_burst`` when dispatching at index 0; the plain decoded
+    engine never reads it).
     """
 
-    __slots__ = ("burst", "blen")
+    __slots__ = ("burst", "blen", "traces")
 
 
 #: Instructions that always advance ``frame.index`` to their own
@@ -105,34 +119,96 @@ _TERMINAL = (Branch, Jump, Unreachable)
 class DecodedFunction:
     """The decoded form of one function: a closure list per block."""
 
-    __slots__ = ("function", "fingerprint", "block_ops", "entry_ops")
+    __slots__ = ("function", "fingerprint", "block_ops", "entry_ops",
+                 "epoch")
 
-    def __init__(self, function: Function, fingerprint: Tuple[int, int],
+    def __init__(self, function: Function, fingerprint: Tuple,
                  block_ops: Dict[BasicBlock, List[Op]]):
         self.function = function
         self.fingerprint = fingerprint
         self.block_ops = block_ops
         self.entry_ops: List[Op] = (
             block_ops[function.entry_block] if function.blocks else [])
+        #: Decode epoch this code was last validated in (see
+        #: :func:`decode_function`).
+        self.epoch = -1
 
 
-def _fingerprint(fn: Function) -> Tuple[int, int]:
-    total = 0
+def _fingerprint(fn: Function) -> Tuple[int, int, int]:
+    """Structural fingerprint of ``fn``'s body.
+
+    Covers instruction identities and opcodes, operand identities,
+    control-flow targets (branch/jump successors, phi predecessor
+    blocks) and the per-instruction variant fields the decoder bakes
+    into closures (binop opcode, cmp predicate, cast kind) — so any
+    in-place mutation a pass can make invalidates the compiled code,
+    including count-preserving ones like operand replacement or
+    branch retargeting that the old ``(n_blocks, n_instrs)`` shape
+    check missed.
+    """
+    acc: List[int] = [len(fn.blocks)]
+    push = acc.append
     for block in fn.blocks:
-        total += len(block.instructions)
-    return (len(fn.blocks), total)
+        push(id(block))
+        push(len(block.instructions))
+        for instr in block.instructions:
+            push(id(instr))
+            push(id(type(instr)))
+            for operand in instr.operands:
+                push(id(operand))
+            if isinstance(instr, Branch):
+                push(id(instr.then_block))
+                push(id(instr.else_block))
+            elif isinstance(instr, Jump):
+                push(id(instr.target))
+            elif isinstance(instr, Phi):
+                for pred in instr.incoming_blocks:
+                    push(id(pred))
+            elif isinstance(instr, BinOp):
+                push(hash(instr.op))
+            elif isinstance(instr, Cmp):
+                push(hash(instr.predicate))
+            elif isinstance(instr, Cast):
+                push(hash(instr.kind))
+                push(id(instr.to_type))
+            elif isinstance(instr, Alloca):
+                push(id(instr.allocated_type))
+    return (len(fn.blocks), len(acc), hash(tuple(acc)))
 
 
 def decode_function(machine: Machine, fn: Function) -> DecodedFunction:
     """Return (building and caching on demand) the decoded code of
-    ``fn`` for ``machine``."""
-    cache = machine._decoded_cache
-    code = cache.get(fn)
+    ``fn`` for ``machine``.
+
+    The structural fingerprint is O(instructions), and this function
+    runs on every executed call instruction — so cached code is
+    trusted within a decode epoch (advanced by every
+    :meth:`Machine.spawn`, i.e. at run boundaries) and refingerprinted
+    only when the epoch moved.  Mutating IR *while* it executes still
+    requires :meth:`Machine.invalidate_decoded`, exactly as before.
+    """
+    code = machine._decoded_cache.get(fn)
+    if code is not None and code.epoch == machine._decode_epoch:
+        return code
+    return _revalidate(machine, fn, code)
+
+
+def _revalidate(machine: Machine, fn: Function,
+                code) -> DecodedFunction:
     fp = _fingerprint(fn)
     if code is not None and code.fingerprint == fp:
+        code.epoch = machine._decode_epoch
         return code
     code = _decode(machine, fn, fp)
+    code.epoch = machine._decode_epoch
+    cache = machine._decoded_cache
     cache[fn] = code
+    cache.move_to_end(fn)
+    while len(cache) > machine._decoded_cache_cap:
+        cache.popitem(last=False)
+    if machine.engine == "traced":
+        from repro.ir.trace import annotate_decoded
+        annotate_decoded(machine, code)
     return code
 
 
@@ -190,6 +266,7 @@ def _build_burst(machine: Machine, ops: OpList,
     by :meth:`DecodedExecutionContext.run_burst`; single stepping
     always dispatches one closure per instruction)."""
     n = len(ops)
+    ops.traces = None
     burst: List = [None] * n
     blen: List[int] = [1] * n
     for i in range(n):

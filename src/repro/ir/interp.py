@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import bisect
 import os
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import IRError, RuntimeFault
@@ -632,9 +633,20 @@ ExternalFn = Callable[["Machine", ExecutionContext, List[object]], object]
 AccessHook = Callable[[ExecutionContext, int, str, str], None]
 
 #: Known execution engines: ``decoded`` pre-compiles each function
-#: into closures (repro.ir.engine); ``legacy`` walks the isinstance
-#: dispatch chain above.  Both are step-observably identical.
-ENGINES = ("decoded", "legacy")
+#: into closures (repro.ir.engine); ``traced`` additionally compiles
+#: hot segments/loops into generated superinstructions
+#: (repro.ir.trace) with guarded deopt back to the decoded tier;
+#: ``legacy`` walks the isinstance dispatch chain above.  All three
+#: are step-observably identical.
+ENGINES = ("decoded", "traced", "legacy")
+
+#: Bound on the per-machine decoded-code cache.  Compiled closures
+#: strongly reference the IR they execute (instructions -> parent
+#: blocks -> function), so weak keying can never collect an entry;
+#: insertion-order eviction at this cap is what keeps a long-running
+#: machine that replaces or respecializes functions from retaining
+#: every dead Function body forever.
+DECODE_CACHE_CAP = 256
 
 #: Engine used when neither the ``Machine(engine=...)`` argument nor
 #: the ``REPRO_ENGINE`` environment variable selects one.
@@ -653,8 +665,11 @@ class Machine:
         case its globals are allocated in that enclave's region.
     engine:
         ``"decoded"`` (default) pre-compiles each function into
-        directly executable closures; ``"legacy"`` re-decodes every
-        instruction per step.  ``REPRO_ENGINE`` overrides the default.
+        directly executable closures; ``"traced"`` builds on the
+        decoded tier and additionally compiles hot loops/segments
+        into generated superinstructions with guarded deopt;
+        ``"legacy"`` re-decodes every instruction per step.
+        ``REPRO_ENGINE`` overrides the default.
     """
 
     def __init__(self, modules, externals: Optional[Dict[str,
@@ -669,8 +684,19 @@ class Machine:
             raise IRError(f"unknown execution engine {engine!r}; "
                           f"expected one of {ENGINES}")
         self.engine = engine
-        #: Per-Function pre-decoded code (managed by repro.ir.engine).
-        self._decoded_cache: Dict[Function, object] = {}
+        #: Per-Function pre-decoded code (managed by repro.ir.engine):
+        #: an insertion-ordered dict bounded at ``_decoded_cache_cap``
+        #: entries, oldest evicted first.
+        self._decoded_cache: "OrderedDict[Function, object]" = OrderedDict()
+        self._decoded_cache_cap = DECODE_CACHE_CAP
+        #: Cached decoded code is refingerprinted whenever this epoch
+        #: advances (every spawn, i.e. every run boundary) — per-call
+        #: lookups inside one run skip the O(instrs) structural hash.
+        self._decode_epoch = 0
+        #: Trace-tier counters (managed by repro.ir.trace; published
+        #: by the observability layer as ``interp.trace.*``).
+        self.trace_stats: Dict[str, int] = {
+            "compiled": 0, "entries": 0, "deopts": 0, "steps": 0}
         self.memory = Memory()
         self.externals: Dict[str, ExternalFn] = dict(DEFAULT_EXTERNALS)
         if externals:
@@ -827,6 +853,9 @@ class Machine:
         if self.engine == "decoded":
             from repro.ir.engine import DecodedExecutionContext
             return DecodedExecutionContext
+        if self.engine == "traced":
+            from repro.ir.trace import TracedExecutionContext
+            return TracedExecutionContext
         return ExecutionContext
 
     def new_context(self, function, args: Sequence[object] = (),
@@ -846,6 +875,9 @@ class Machine:
               mode: Optional[str] = None, name: str = "") -> ExecutionContext:
         if isinstance(function, str):
             function = self.function_named(function)
+        # A spawn is a run boundary: force cached decoded code to be
+        # refingerprinted so IR mutated since the last run re-decodes.
+        self._decode_epoch += 1
         ctx = self.new_context(function, args, mode, name)
         self.contexts.append(ctx)
         return ctx

@@ -26,6 +26,7 @@ from repro.pipeline.passes import (
     SecureTypeAnalysisPass,
     SimplifyCFGPass,
     StructRewritePass,
+    TraceCompilePass,
     VerifyPass,
 )
 
@@ -33,7 +34,7 @@ from repro.pipeline.passes import (
 PASS_REGISTRY = {cls.name: cls for cls in (
     Mem2RegPass, SimplifyCFGPass, ConstFoldPass, DCEPass,
     StructRewritePass, SecureTypeAnalysisPass, PartitionPass,
-    VerifyPass,
+    TraceCompilePass, VerifyPass,
 )}
 
 #: The paper's Figure-5 compile pipeline, with the optimization trio
@@ -43,11 +44,13 @@ PASS_REGISTRY = {cls.name: cls for cls in (
 #: simplify-cfg's branch folding, and DCE last to sweep the operands
 #: both passes orphaned.
 DEFAULT_PIPELINE = ("mem2reg", "constfold", "simplify-cfg", "dce",
-                    "struct-rewrite", "secure-types", "partition")
+                    "struct-rewrite", "secure-types", "partition",
+                    "trace-compile")
 
-#: Same pipeline without partitioning — ``repro analyze`` stops after
-#: the type analysis and reports the collected errors.
-ANALYZE_PIPELINE = DEFAULT_PIPELINE[:-1]
+#: Same pipeline without partitioning or trace planning — ``repro
+#: analyze`` stops after the type analysis and reports the collected
+#: errors.
+ANALYZE_PIPELINE = DEFAULT_PIPELINE[:-2]
 
 #: What the MiniC frontend runs on freshly generated IR.
 FRONTEND_PIPELINE = ("verify",)

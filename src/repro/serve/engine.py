@@ -24,6 +24,7 @@ served.
 from __future__ import annotations
 
 import hashlib
+import os
 from collections import deque
 from typing import List, Optional, Sequence, Tuple
 
@@ -61,8 +62,11 @@ class SecureKVEngine:
         A pre-compiled partitioned program (from
         :func:`compile_secure_kv`); compiled on demand if omitted.
     engine:
-        Interpreter engine name (``decoded``/``legacy``), like the
-        CLI's ``--engine``.
+        Interpreter engine name (``decoded``/``traced``/``legacy``),
+        like the CLI's ``--engine``.  Serving defaults to ``traced``
+        (the drive loop re-enters the same hot KV chunks thousands of
+        times, exactly what the trace tier amortizes); ``REPRO_ENGINE``
+        still wins when set.
     max_steps:
         Per-drive scheduler step budget.
     watchdog_steps:
@@ -76,6 +80,8 @@ class SecureKVEngine:
     def __init__(self, program=None, engine: Optional[str] = None,
                  max_steps: int = 50_000_000,
                  watchdog_steps: Optional[int] = None):
+        if engine is None:
+            engine = os.environ.get("REPRO_ENGINE") or "traced"
         self.program = program if program is not None \
             else compile_secure_kv()
         self._feed: deque = deque()

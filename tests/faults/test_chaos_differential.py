@@ -1,5 +1,5 @@
 """The chaos differential suite (acceptance criterion): across
-hundreds of seeded fault schedules, on both engines, every run either
+hundreds of seeded fault schedules, on all three engines, every run either
 matches the fault-free run exactly or raises a typed RuntimeFault —
 zero silently-wrong outcomes, and injected corruption of colored data
 is always detected, never absorbed."""
@@ -35,11 +35,11 @@ def fig7_program():
         return compile_and_partition(handle.read(), mode="relaxed")
 
 
-def test_fig7_200_seeded_schedules_never_silently_wrong(fig7_program):
-    """100 seeds x 2 engines = 200 schedules: the headline gate."""
+def test_fig7_300_seeded_schedules_never_silently_wrong(fig7_program):
+    """100 seeds x 3 engines = 300 schedules: the headline gate."""
     records = chaos_sweep(fig7_program, range(100))
     summary = summarize(records)
-    assert summary["runs"] == 200
+    assert summary["runs"] == 300
     assert summary[SILENTLY_WRONG] == 0, [
         r for r in records if r["verdict"] == SILENTLY_WRONG]
     # The sweep must actually exercise faults, not dodge them.
@@ -63,7 +63,7 @@ def test_fig7_engines_agree_on_every_verdict(fig7_program):
     assert not disagreements
 
 
-@pytest.mark.parametrize("engine", ["decoded", "legacy"])
+@pytest.mark.parametrize("engine", ["decoded", "traced", "legacy"])
 @pytest.mark.parametrize("kind", ["spawn", "value", "token"])
 def test_corruption_of_colored_data_is_always_detected(fig7_program,
                                                        kind, engine):

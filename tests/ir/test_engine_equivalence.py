@@ -53,10 +53,10 @@ def assert_equivalent(source, observe=False):
     runs = {engine: _run(module, engine, observe)
             for engine in ENGINES}
     legacy = runs["legacy"]
-    decoded = runs["decoded"]
-    for key in legacy:
-        assert decoded[key] == legacy[key], \
-            f"engines differ on {key}"
+    for engine, run in runs.items():
+        for key in legacy:
+            assert run[key] == legacy[key], \
+                f"engine {engine} differs from legacy on {key}"
     return legacy
 
 
@@ -194,7 +194,8 @@ def test_fault_equivalence():
         with pytest.raises(RuntimeFault) as exc:
             machine.run()
         outcomes[engine] = (str(exc.value), machine.total_steps)
-    assert outcomes["legacy"] == outcomes["decoded"]
+    for engine in ENGINES:
+        assert outcomes[engine] == outcomes["legacy"], engine
 
 
 def test_lockstep_interleaving():
@@ -289,7 +290,8 @@ def test_partitioned_equivalence():
             "memory": _memory_image(runtime.machine),
             "trace": trace,
         }
-    assert runs["legacy"] == runs["decoded"]
+    for engine in ENGINES:
+        assert runs[engine] == runs["legacy"], engine
     assert runs["legacy"]["result"] == 42
 
 

@@ -1,0 +1,333 @@
+"""Trace-tier tests: cache invalidation soundness, bounded decode
+cache, region planning, deopt paths, mid-trace faults, and watchdog
+accounting — differential against the decoded and legacy engines."""
+
+import pytest
+
+from repro.core.colors import RELAXED
+from repro.core.compiler import compile_and_partition
+from repro.errors import RuntimeFault, WatchdogTimeout
+from repro.frontend import compile_source
+from repro.ir.engine import _fingerprint, decode_function
+from repro.ir.instructions import BinOp
+from repro.ir.interp import ENGINES, Machine
+from repro.ir.trace import (
+    TracedExecutionContext,
+    plan_function,
+    region_steps,
+)
+from repro.ir.values import Constant
+from repro.pipeline.analyses import AnalysisCache
+from repro.runtime.executor import PrivagicRuntime
+
+HOT_LOOP = """
+    int main() {
+        int acc = 1;
+        for (int i = 0; i < 200; i = i + 1) {
+            acc = acc + i * 3 - (acc / 7);
+        }
+        return acc;
+    }
+"""
+
+FAULTING_LOOP = """
+    int main() {
+        int acc = 0;
+        for (int i = 0; i < 100; i = i + 1) {
+            acc = acc + 1000 / (50 - i);
+        }
+        return acc;
+    }
+"""
+
+
+@pytest.fixture(autouse=True)
+def _force_tracing(monkeypatch):
+    """Compile every planned region on first entry so small test
+    programs exercise the trace tier."""
+    monkeypatch.setenv("REPRO_TRACE_THRESHOLD", "0")
+
+
+def _result(module, engine, **kwargs):
+    machine = Machine(module, engine=engine, **kwargs)
+    ctx = machine.spawn("main", name="main")
+    machine.run()
+    return ctx.result, machine.total_steps, machine
+
+
+def _find_const_binop(fn, op, const):
+    for block in fn.blocks:
+        for instr in block.instructions:
+            if isinstance(instr, BinOp) and instr.op == op:
+                for i, operand in enumerate(instr.operands):
+                    if (isinstance(operand, Constant)
+                            and operand.value == const):
+                        return instr, i
+    raise AssertionError(f"no {op} by {const} in @{fn.name}")
+
+
+# -- cache invalidation (satellite 1) -----------------------------------------
+
+
+def test_fingerprint_is_structural():
+    module = compile_source(HOT_LOOP)
+    fn = module.functions["main"]
+    before = _fingerprint(fn)
+    instr, index = _find_const_binop(fn, "mul", 3)
+    instr.set_operand(index, Constant(instr.type, 5))
+    after = _fingerprint(fn)
+    # Same shape — the old (n_blocks, n_instrs) fingerprint is blind
+    # to this mutation; the structural hash must not be.
+    assert before[0] == after[0] and before[1] == after[1]
+    assert before != after
+
+
+@pytest.mark.parametrize("engine", ["decoded", "traced"])
+def test_inplace_mutation_invalidates_across_runs(engine):
+    """Mutating IR between runs (same block/instruction counts) must
+    re-decode: stale cached closures would replay the old constant."""
+    module = compile_source(HOT_LOOP)
+    machine = Machine(module, engine=engine)
+    ctx = machine.spawn("main", name="main")
+    machine.run()
+    original = ctx.result
+
+    fn = module.functions["main"]
+    instr, index = _find_const_binop(fn, "mul", 3)
+    instr.set_operand(index, Constant(instr.type, 5))
+
+    ctx2 = machine.spawn("main", name="main2")
+    machine.run()
+    mutated = ctx2.result
+
+    oracle = compile_source(HOT_LOOP.replace("i * 3", "i * 5"))
+    expected, _, _ = _result(oracle, "legacy")
+    assert mutated == expected
+    assert mutated != original
+
+
+def test_decode_cache_is_bounded():
+    """Repeated compiles of mutated IR must evict, not accumulate
+    (the long-running-serve leak of satellite 2)."""
+    module = compile_source(HOT_LOOP)
+    machine = Machine(module, engine="decoded")
+    machine._decoded_cache_cap = 4
+    fn = module.functions["main"]
+    instr, index = _find_const_binop(fn, "mul", 3)
+    for value in range(20):
+        instr.set_operand(index, Constant(instr.type, value))
+        machine._decode_epoch += 1  # simulate a run boundary
+        decode_function(machine, fn)
+        assert len(machine._decoded_cache) <= 4
+    # Same-key recompiles replace the entry: one function, one slot.
+    assert len(machine._decoded_cache) == 1
+
+
+def test_unchanged_code_is_reused_across_runs():
+    module = compile_source(HOT_LOOP)
+    machine = Machine(module, engine="decoded")
+    fn = module.functions["main"]
+    machine.spawn("main", name="a")
+    machine.run()
+    code = machine._decoded_cache[fn]
+    machine.spawn("main", name="b")
+    machine.run()
+    assert machine._decoded_cache[fn] is code
+
+
+# -- region planning ----------------------------------------------------------
+
+
+def test_plan_finds_the_hot_loop():
+    module = compile_source(HOT_LOOP)
+    fn = module.functions["main"]
+    plan = plan_function(fn, AnalysisCache())
+    assert len(plan) == 1
+    region = plan[0]
+    # The region is a natural loop: the last block branches back to
+    # the head, and every block belongs to the same function.
+    assert region[0] in region[-1].successors
+    assert region_steps(region) >= 3
+
+
+def test_straight_line_function_has_no_regions():
+    module = compile_source("int main() { return 41 + 1; }")
+    fn = module.functions["main"]
+    assert plan_function(fn, AnalysisCache()) == ()
+
+
+def test_pipeline_pass_deposits_reusable_plans():
+    program = compile_and_partition("""
+        int color(U) unsafe_g = 0;
+        entry int main() {
+            unsafe_g = 1;
+            int acc = 0;
+            for (int i = 0; i < 100; i = i + 1) { acc = acc + i; }
+            return acc;
+        }
+    """, mode=RELAXED)
+    planned = [fn for module in program.modules.values()
+               for fn in module.defined_functions()
+               if getattr(fn, "_trace_plan_fp", None) is not None]
+    assert planned, "trace-compile pass left no plans"
+    for fn in planned:
+        assert fn._trace_plan_fp == _fingerprint(fn)
+
+
+# -- execution through the trace tier -----------------------------------------
+
+
+def test_traced_engine_compiles_and_matches():
+    module = compile_source(HOT_LOOP)
+    expected, legacy_steps, _ = _result(module, "legacy")
+    result, steps, machine = _result(module, "traced")
+    assert (result, steps) == (expected, legacy_steps)
+    assert machine.trace_stats["compiled"] >= 1
+    assert machine.trace_stats["steps"] > 0
+    assert isinstance(machine.context_class(), type(TracedExecutionContext)) \
+        or machine.context_class() is TracedExecutionContext
+
+
+def test_small_burst_budgets_deopt_and_stay_exact():
+    """Driving the traced context with burst budgets smaller than one
+    loop iteration must fall back to the decoded tier (deopt) and
+    still replay the exact legacy step sequence."""
+    module = compile_source(HOT_LOOP)
+    expected, legacy_steps, _ = _result(module, "legacy")
+
+    machine = Machine(module, engine="traced")
+    ctx = machine.spawn("main", name="main")
+    contexts = [ctx]
+    while not ctx.finished:
+        ctx.run_burst(3, contexts)
+    assert ctx.result == expected
+    assert machine.total_steps == legacy_steps
+    # Budget-headroom rejections are counted as deopts.
+    assert machine.trace_stats["deopts"] > 0
+    assert machine.trace_stats["compiled"] >= 1
+
+
+def test_varied_burst_budgets_match_decoded():
+    """Mixed budgets exercise mid-loop entry (prev_block = back edge)
+    and budget exits; memory images must stay identical."""
+    module_a = compile_source(HOT_LOOP)
+    module_b = compile_source(HOT_LOOP)
+    runs = {}
+    for engine, module in (("decoded", module_a), ("traced", module_b)):
+        machine = Machine(module, engine=engine)
+        ctx = machine.spawn("main", name="main")
+        budget = 1
+        while not ctx.finished:
+            ctx.run_burst(budget, [ctx])
+            budget = budget % 37 + 1
+        runs[engine] = (ctx.result, ctx.steps, machine.total_steps,
+                        dict(machine.memory._slots))
+    assert runs["traced"] == runs["decoded"]
+
+
+def test_single_steps_never_trace():
+    """step() bypasses the trace tier by design (lockstep oracles)."""
+    module = compile_source(HOT_LOOP)
+    machine = Machine(module, engine="traced")
+    ctx = machine.spawn("main", name="main")
+    for _ in range(100):
+        if ctx.finished:
+            break
+        ctx.step()
+    assert machine.trace_stats["entries"] == 0
+
+
+def test_midtrace_fault_parity():
+    """A division fault deep inside a compiled trace must surface the
+    identical message at the identical step on all three engines."""
+    module = compile_source(FAULTING_LOOP)
+    outcomes = {}
+    for engine in ENGINES:
+        machine = Machine(module, engine=engine)
+        machine.spawn("main", name="main")
+        with pytest.raises(RuntimeFault) as exc:
+            machine.run()
+        outcomes[engine] = (str(exc.value), machine.total_steps)
+    assert outcomes["traced"] == outcomes["legacy"]
+    assert outcomes["decoded"] == outcomes["legacy"]
+    assert "division by zero" in outcomes["traced"][0]
+
+
+def test_watchdog_accounting_is_engine_independent():
+    """Per-context watchdog budgets must trip at the same point under
+    the trace tier: traces charge ctx.steps exactly and never run
+    past their burst budget."""
+    source = """
+        int color(U) unsafe_g = 0;
+        entry int main() {
+            unsafe_g = 1;
+            int acc = 0;
+            for (int i = 0; i < 100000; i = i + 1) { acc = acc + i; }
+            return acc;
+        }
+    """
+    program = compile_and_partition(source, mode=RELAXED)
+    outcomes = {}
+    for engine in ENGINES:
+        runtime = PrivagicRuntime(program, engine=engine,
+                                  watchdog_steps=5_000)
+        with pytest.raises(WatchdogTimeout) as exc:
+            runtime.run("main")
+        outcomes[engine] = (str(exc.value),
+                            runtime.machine.total_steps)
+    assert outcomes["traced"] == outcomes["legacy"]
+    assert outcomes["decoded"] == outcomes["legacy"]
+
+
+def test_partitioned_traced_run_matches(capsys):
+    source = """
+        int color(U) unsafe_g = 0;
+        int color(blue) blue_g = 10;
+        int color(red) red_g = 0;
+
+        void g(int n) {
+            int acc = 0;
+            for (int i = 0; i < 50; i = i + 1) { acc = acc + i * n; }
+            blue_g = acc;
+            red_g = n;
+        }
+
+        int f(int y) { g(21); return 42; }
+
+        entry int main() {
+            unsafe_g = 1;
+            int x = 0;
+            for (int i = 0; i < 5; i = i + 1) { x = f(blue_g); }
+            return x;
+        }
+    """
+    program = compile_and_partition(source, mode=RELAXED)
+    runs = {}
+    for engine in ENGINES:
+        runtime = PrivagicRuntime(program, engine=engine)
+        result = runtime.run("main")
+        runs[engine] = (result, runtime.machine.total_steps,
+                        runtime.stats.as_dict())
+    assert runs["traced"] == runs["legacy"]
+    assert runs["decoded"] == runs["legacy"]
+
+
+def test_trace_counters_reach_metrics():
+    from repro.obs import Observability
+    source = """
+        int color(U) unsafe_g = 0;
+        entry int main() {
+            unsafe_g = 1;
+            int acc = 0;
+            for (int i = 0; i < 500; i = i + 1) { acc = acc + i; }
+            return acc;
+        }
+    """
+    program = compile_and_partition(source, mode=RELAXED)
+    runtime = PrivagicRuntime(program, engine="traced")
+    obs = Observability().attach(runtime)
+    runtime.run("main")
+    registry = obs.publish()
+    assert registry.counter("interp.trace.compiled").get() >= 1
+    assert registry.counter("interp.trace.steps").get() > 0
+    obs.detach()
