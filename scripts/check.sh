@@ -75,6 +75,32 @@ else
 fi
 echo "chaos smoke: typed-fault/identical contract OK"
 
+# Optimizer smoke: the kl placement policy on Fig 7 must preserve the
+# program's observable behavior exactly (result + stdout) while the
+# partition report shows it actually elided messages.
+PLAIN_OUT=$(python -m repro run examples/fig7.c --mode relaxed \
+    | grep -v '^messages:')
+KL_OUT=$(python -m repro run examples/fig7.c --mode relaxed \
+    --optimize kl | grep -v '^messages:')
+if [ "$PLAIN_OUT" != "$KL_OUT" ]; then
+    echo "optimizer smoke: kl changed program behavior:" >&2
+    echo "  none: $PLAIN_OUT" >&2
+    echo "  kl:   $KL_OUT" >&2
+    exit 1
+fi
+python -m repro analyze examples/fig7.c --mode relaxed \
+    --optimize kl --partition-stats > /tmp/repro-placement.out
+grep -q '"policy": "kl"' /tmp/repro-placement.out
+grep -q "tcb" /tmp/repro-placement.out
+rm -f /tmp/repro-placement.out
+echo "optimizer smoke: kl placement OK (behavior identical to none)"
+
+# Chaos smoke, optimized arm: the same fixed-seed sweep against the
+# kl-optimized partition — barrier elision must never turn a fault
+# into a silently-wrong run.
+python -m repro.faults.differential examples/fig7.c \
+    --seeds 16 --base-seed 1234 --optimize kl
+
 # Serve smoke: host the partitioned KV app on an ephemeral port, push
 # 200 YCSB-C ops through real sockets, and check a clean drain with
 # actual request batching (nonzero serve.batch_size histogram).
@@ -181,4 +207,32 @@ gate = sweep["speedup_vs_single"]["8"]["64"]
 assert gate >= 4.0, f"8-shard @64 clients below 4x: {gate}x"
 print(f"bench gate: sharded @16 clients {best16} > single "
       f"{single16} ops/s; 8 shards @64 clients {gate}x OK")
+PYEOF
+
+# BENCH_partition regression gate: the committed partition-quality
+# report must keep the optimizer honest — modeled cost never above
+# the unoptimized baseline on any workload, and the best measured
+# message reduction (fig7/minicache, kl arm) at or above 20%.
+python - <<'PYEOF'
+import json
+
+with open("BENCH_partition.json") as handle:
+    workloads = json.load(handle)["workloads"]
+best = 0.0
+for name, workload in workloads.items():
+    arms = workload["policies"]
+    none = arms["none"]
+    for policy in ("kl", "profile"):
+        arm = arms[policy]
+        assert arm["modeled_cost_cycles"] <= none["modeled_cost_cycles"], \
+            f"{name}/{policy}: modeled cost regressed vs none"
+    assert workload["differential"]["identical"], \
+        f"{name}: optimized arms were not byte-identical to none"
+    if name in ("fig7", "minicache"):
+        best = max(best,
+                   workload["reduction_vs_none"]["kl"]["messages_pct"])
+assert best >= 20.0, \
+    f"best kl message reduction below 20%: {best:.1f}%"
+print(f"bench gate: partition quality OK "
+      f"(best kl message reduction {best:.1f}%)")
 PYEOF

@@ -52,6 +52,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="print the IR after every pass (stderr)")
     parser.add_argument("--time-passes", action="store_true",
                         help="print a per-pass wall-time table (stderr)")
+    parser.add_argument("--optimize", metavar="POLICY", default=None,
+                        help="placement policy for the "
+                             "optimize-placement pass: none (default), "
+                             "kl (Kernighan-Lin boundary refinement) "
+                             "or profile (needs --profile-in)")
+    parser.add_argument("--profile-in", metavar="PROFILE.json",
+                        default=None,
+                        help="measured traffic profile from a prior "
+                             "run's --profile-out; drives "
+                             "--optimize profile")
+    parser.add_argument("--partition-stats", action="store_true",
+                        help="print the per-color partition table "
+                             "(chunks, instructions, TCB, boundary "
+                             "call sites) and, with --optimize, the "
+                             "placement quality report")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "(load in chrome://tracing or Perfetto)")
     run.add_argument("--stats", action="store_true",
                      help="print the full metrics dump after the run")
+    run.add_argument("--profile-out", metavar="PROFILE.json",
+                     default=None,
+                     help="write the measured per-channel traffic "
+                          "after the run (feeds --optimize profile)")
     run.add_argument("args", nargs="*", type=int,
                      help="integer arguments for the entry point")
 
@@ -199,11 +218,33 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _profile_for(options) -> Optional[dict]:
+    if getattr(options, "profile_in", None) is None:
+        return None
+    from repro.core.placement import load_profile
+    return load_profile(options.profile_in)
+
+
 def _compiler_for(options, **kwargs) -> PrivagicCompiler:
     return PrivagicCompiler(
         mode=options.mode, passes=options.passes,
         time_passes=options.time_passes,
-        print_after_each=options.print_after_each, **kwargs)
+        print_after_each=options.print_after_each,
+        optimize=options.optimize, profile=_profile_for(options),
+        **kwargs)
+
+
+def _print_partition_stats(ctx, program) -> None:
+    """The --partition-stats tail: per-color table plus the placement
+    quality report when the optimizer ran."""
+    from repro.core.placement import (format_partition_stats,
+                                      partition_stats)
+    print(format_partition_stats(partition_stats(program)))
+    if ctx is not None and ctx.placement_report is not None:
+        import json as json_module
+        print("placement report:")
+        print(json_module.dumps(ctx.placement_report, indent=2,
+                                sort_keys=True))
 
 
 def cmd_analyze(options) -> int:
@@ -212,7 +253,9 @@ def cmd_analyze(options) -> int:
     manager = PassManager(options.passes or ANALYZE_PIPELINE,
                           time_passes=options.time_passes,
                           print_after_each=options.print_after_each)
-    ctx = manager.run(module, mode=options.mode)
+    ctx = manager.run(module, mode=options.mode,
+                      optimize=options.optimize,
+                      profile=_profile_for(options))
     result = ctx.analysis
     if result is None:
         print("pipeline ran no 'secure-types' pass; nothing to report",
@@ -228,6 +271,17 @@ def cmd_analyze(options) -> int:
         fa = result.functions[name]
         print(f"  {name}: colorset={sorted(fa.color_set) or ['F']} "
               f"returns={fa.return_color}")
+    if options.partition_stats:
+        # The analyze pipeline stops before materialization; partition
+        # quietly (sharing the planner and any placement decisions) so
+        # the per-color table reflects what compile would emit.
+        from repro.core.partition import partition
+        program = ctx.program
+        if program is None:
+            program = partition(result, cache=ctx.cache,
+                                planner=ctx.planner,
+                                placement=ctx.placement)
+        _print_partition_stats(ctx, program)
     return 0
 
 
@@ -260,6 +314,8 @@ def cmd_compile(options) -> int:
             print(f"wrote {path}")
         else:
             print(text)
+    if options.partition_stats and program is not None:
+        _print_partition_stats(compiler.context, program)
     if options.stats:
         from repro.obs.export import metrics_to_text
         print(metrics_to_text(compiler.context.metrics))
@@ -319,6 +375,15 @@ def cmd_run(options) -> int:
     print(f"{options.entry}({', '.join(map(str, options.args))}) "
           f"= {result}")
     print(f"messages: {runtime.stats.as_dict()}")
+    if options.profile_out:
+        from repro.core.placement import (profile_from_runtime,
+                                          save_profile)
+        save_profile(options.profile_out,
+                     profile_from_runtime(runtime))
+        print(f"profile: wrote {options.profile_out} "
+              f"({runtime.stats.messages} message(s) measured)")
+    if options.partition_stats:
+        _print_partition_stats(compiler.context, program)
     if injector is not None:
         print(f"faults: injected={injector.injected_total()} "
               f"detected={injector.detected_total()} "

@@ -56,7 +56,9 @@ class PrivagicCompiler:
                  passes=None, verify_each: Optional[bool] = None,
                  time_passes: bool = False,
                  print_after_each: bool = False,
-                 metrics=None, tracer=None):
+                 metrics=None, tracer=None,
+                 optimize: Optional[str] = None,
+                 profile: Optional[dict] = None):
         self.mode = mode
         self.sync_barriers = sync_barriers
         self.passes = passes
@@ -65,6 +67,11 @@ class PrivagicCompiler:
         self.print_after_each = print_after_each
         self.metrics = metrics
         self.tracer = tracer
+        #: Placement policy (``none``/``kl``/``profile``) for the
+        #: ``optimize-placement`` pass, plus the measured traffic the
+        #: ``profile`` policy consumes.
+        self.optimize = optimize
+        self.profile = profile
         self.analysis: Optional[AnalysisResult] = None
         #: The full pipeline context of the last compilation.
         self.context: Optional[CompilationContext] = None
@@ -85,7 +92,9 @@ class PrivagicCompiler:
                                    entries=entries,
                                    sync_barriers=self.sync_barriers,
                                    metrics=self.metrics,
-                                   tracer=self.tracer)
+                                   tracer=self.tracer,
+                                   optimize=self.optimize,
+                                   profile=self.profile)
         self.analysis = self.context.analysis
         return self.context.program
 
@@ -101,7 +110,10 @@ class PrivagicCompiler:
 def compile_and_partition(source: str, mode: str = HARDENED,
                           entries: Optional[Sequence[str]] = None,
                           sync_barriers: bool = True,
-                          passes=None) -> PartitionedProgram:
+                          passes=None, optimize: Optional[str] = None,
+                          profile: Optional[dict] = None
+                          ) -> PartitionedProgram:
     """One-call convenience used by examples and tests."""
-    compiler = PrivagicCompiler(mode, sync_barriers, passes=passes)
+    compiler = PrivagicCompiler(mode, sync_barriers, passes=passes,
+                                optimize=optimize, profile=profile)
     return compiler.compile_source(source, entries=entries)

@@ -195,12 +195,21 @@ class PartitionedProgram:
         return f"<PartitionedProgram {sizes}>"
 
 
-class Partitioner:
-    """Rewrites an analyzed module into per-color partitions."""
+class PartitionPlanner:
+    """The *planning* half of partitioning: decides chunk sets, call
+    protocols and value transfers without materializing any IR.
 
-    def __init__(self, analysis: AnalysisResult,
-                 sync_barriers: bool = True, dce: bool = True,
-                 cache=None):
+    Split out of :class:`Partitioner` so the placement optimizer
+    (:mod:`repro.core.placement`) can build its partition graph from
+    the exact protocol decisions the partitioner would make, run a
+    policy over it, and hand both the plans and its decisions back to
+    the materialization phase.  Planning is idempotent: :meth:`plan`
+    computes once and is a no-op afterwards, so a planner can be
+    shared between the ``optimize-placement`` pass and the
+    ``partition`` pass of one pipeline run.
+    """
+
+    def __init__(self, analysis: AnalysisResult, cache=None):
         self.analysis = analysis
         if cache is None:
             from repro.pipeline.analyses import AnalysisCache
@@ -208,45 +217,19 @@ class Partitioner:
         self.cache = cache
         self.mode = analysis.mode
         self.untrusted = analysis.untrusted
-        self.sync_barriers = sync_barriers
-        self.dce = dce
         self.plans: Dict[str, SpecPlan] = {}
-        self.program = PartitionedProgram(analysis)
-        self._runtime_decls: Dict[str, Function] = {
-            name: Function(name, sig, attributes=["extern", "within"])
-            for name, sig in _RUNTIME_SIGNATURES.items()}
+        self._planned = False
 
-    # == driver =================================================================
-
-    def run(self) -> PartitionedProgram:
+    def plan(self) -> "PartitionPlanner":
+        if self._planned:
+            return self
         self._build_plans()
-        for color in self._all_colors():
-            self.program.modules[color] = Module(f"partition.{color}")
-            self.program.modules[color].placement = (
-                None if color == self.untrusted else color)
-        self._place_globals()
         for plan in self.plans.values():
             self._plan_call_sites(plan)
         for plan in self.plans.values():
             self._plan_transfers(plan)
-        for plan in self.plans.values():
-            for color in sorted(plan.chunks):
-                self._build_chunk(plan, color)
-        self._build_interfaces()
-        self._declare_runtime()
-        if self.dce:
-            # Erase the uselessly replicated F instructions (§7.3.1).
-            for module in self.program.modules.values():
-                dead_code_elimination_chunks(module)
-        return self.program
-
-    def _all_colors(self) -> List[str]:
-        colors = {self.untrusted}
-        for fa in self.analysis.functions.values():
-            colors |= {c for c in fa.color_set}
-        colors = {c if c != U or self.mode == HARDENED else self.untrusted
-                  for c in colors}
-        return sorted(colors)
+        self._planned = True
+        return self
 
     # == planning ================================================================
 
@@ -490,6 +473,114 @@ class Partitioner:
             return self.untrusted
         return color
 
+    def _is_visible_effect(self, plan: SpecPlan,
+                           instr: Instruction) -> bool:
+        """Visible effects (§7.3.3): stores to untrusted memory and
+        external calls.  These are the instructions the sync-barrier
+        token protocol orders."""
+        if isinstance(instr, Store):
+            return plan.fa.inst_colors.get(instr) == self.untrusted
+        if isinstance(instr, Call):
+            callee = instr.callee
+            return (isinstance(callee, Function) and callee.is_declaration
+                    and not callee.is_within and not callee.is_ignore
+                    and not callee.name.startswith("__privagic"))
+        return False
+
+    def _barrier_home(self, plan: SpecPlan, instr: Instruction) -> str:
+        """The chunk that hosts a visible effect and therefore waits
+        for the barrier tokens (F-homed effects run untrusted)."""
+        home = plan.fa.inst_colors.get(instr, F)
+        if home == F:
+            home = self.untrusted
+        return home
+
+    # Public aliases for the placement layer (repro.core.placement),
+    # which reads protocol decisions off a shared planner.
+    kept_in_chunk = _kept_in_chunk
+    home_color = _home_color
+    sender_of = _sender_of
+    value_avail = _value_avail
+    is_visible_effect = _is_visible_effect
+    barrier_home = _barrier_home
+    callee_plan = _callee_plan
+
+
+class Partitioner:
+    """Rewrites an analyzed module into per-color partitions.
+
+    Materializes the IR the :class:`PartitionPlanner` decided on.  An
+    optional ``placement`` object (a
+    :class:`repro.core.placement.PlacementDecisions`) adjusts the
+    materialization — today by exempting provably effect-free enclave
+    chunks from sync-barrier token traffic.  With ``placement=None``
+    (the default) the output is bit-identical to the historical
+    monolithic partitioner.
+    """
+
+    def __init__(self, analysis: AnalysisResult,
+                 sync_barriers: bool = True, dce: bool = True,
+                 cache=None, planner: Optional[PartitionPlanner] = None,
+                 placement=None):
+        self.analysis = analysis
+        self.planner = planner if planner is not None else \
+            PartitionPlanner(analysis, cache=cache)
+        self.cache = self.planner.cache
+        self.mode = analysis.mode
+        self.untrusted = analysis.untrusted
+        self.sync_barriers = sync_barriers
+        self.dce = dce
+        self.placement = placement
+        self.program = PartitionedProgram(analysis)
+        self._runtime_decls: Dict[str, Function] = {
+            name: Function(name, sig, attributes=["extern", "within"])
+            for name, sig in _RUNTIME_SIGNATURES.items()}
+
+    @property
+    def plans(self) -> Dict[str, SpecPlan]:
+        return self.planner.plans
+
+    # -- planner delegation ------------------------------------------------------
+
+    def _sender_of(self, plan: SpecPlan, value: Value) -> str:
+        return self.planner._sender_of(plan, value)
+
+    def _kept_in_chunk(self, plan: SpecPlan, instr: Instruction,
+                       chunk: str) -> bool:
+        return self.planner._kept_in_chunk(plan, instr, chunk)
+
+    def _is_visible_effect(self, plan: SpecPlan,
+                           instr: Instruction) -> bool:
+        return self.planner._is_visible_effect(plan, instr)
+
+    # == driver =================================================================
+
+    def run(self) -> PartitionedProgram:
+        self.planner.plan()
+        for color in self._all_colors():
+            self.program.modules[color] = Module(f"partition.{color}")
+            self.program.modules[color].placement = (
+                None if color == self.untrusted else color)
+        self._place_globals()
+        for plan in self.plans.values():
+            for color in sorted(plan.chunks):
+                self._build_chunk(plan, color)
+        self._build_interfaces()
+        self._declare_runtime()
+        if self.dce:
+            # Erase the uselessly replicated F instructions (§7.3.1).
+            for module in self.program.modules.values():
+                dead_code_elimination_chunks(module)
+        return self.program
+
+    def _all_colors(self) -> List[str]:
+        colors = {self.untrusted}
+        for fa in self.analysis.functions.values():
+            colors |= {c for c in fa.color_set}
+        colors = {c if c != U or self.mode == HARDENED else self.untrusted
+                  for c in colors}
+        return sorted(colors)
+
     # == globals (§7.1) ==============================================================
 
     def _place_globals(self) -> None:
@@ -698,11 +789,19 @@ class Partitioner:
                       instr: Instruction, mapped: Instruction) -> None:
         """Before an instruction with a visible effect, wait for a
         token from every other chunk; the other chunks send theirs at
-        the same program point (Fig 7: c3/c4 before printf)."""
-        home = plan.fa.inst_colors.get(instr, F)
-        if home == F:
-            home = self.untrusted
-        others = sorted(plan.chunks - {home})
+        the same program point (Fig 7: c3/c4 before printf).
+
+        Chunks the placement policy exempted (provably effect-free, so
+        their token cannot reorder any observable action) participate
+        on neither side: the home chunk does not wait for them and
+        they do not send.  Both sides filter by the same per-spec set,
+        so send/recv pairs stay matched by construction."""
+        home = self.planner._barrier_home(plan, instr)
+        exempt = frozenset()
+        if self.placement is not None:
+            exempt = self.placement.barrier_exempt_chunks(
+                plan.fa.fn.name)
+        others = sorted(plan.chunks - {home} - exempt)
         if not others:
             return
         block = mapped.parent
@@ -712,20 +811,9 @@ class Partitioner:
                 block.insert(index, Call(self._runtime_decls[TOKEN_RECV],
                                          [_cstr(other)]))
                 index += 1
-        else:
+        elif chunk not in exempt:
             block.insert(index, Call(self._runtime_decls[TOKEN_SEND],
                                      [_cstr(home)]))
-
-    def _is_visible_effect(self, plan: SpecPlan,
-                           instr: Instruction) -> bool:
-        if isinstance(instr, Store):
-            return plan.fa.inst_colors.get(instr) == self.untrusted
-        if isinstance(instr, Call):
-            callee = instr.callee
-            return (isinstance(callee, Function) and callee.is_declaration
-                    and not callee.is_within and not callee.is_ignore
-                    and not callee.name.startswith("__privagic"))
-        return False
 
     # -- call rewriting (§7.3.2) ---------------------------------------------------------------
 
@@ -950,7 +1038,15 @@ def dead_code_elimination_chunks(module: Module) -> int:
 
 
 def partition(analysis: AnalysisResult, sync_barriers: bool = True,
-              dce: bool = True, cache=None) -> PartitionedProgram:
-    """Partition an analyzed module (paper §7)."""
+              dce: bool = True, cache=None, planner=None,
+              placement=None) -> PartitionedProgram:
+    """Partition an analyzed module (paper §7).
+
+    ``planner`` reuses an already-planned :class:`PartitionPlanner`
+    (from the ``optimize-placement`` pass); ``placement`` applies a
+    :class:`repro.core.placement.PlacementDecisions` during
+    materialization.  Both default to the historical behavior.
+    """
     analysis.check()
-    return Partitioner(analysis, sync_barriers, dce, cache=cache).run()
+    return Partitioner(analysis, sync_barriers, dce, cache=cache,
+                       planner=planner, placement=placement).run()

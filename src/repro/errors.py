@@ -69,6 +69,14 @@ class PartitionError(PrivagicError):
     """
 
 
+class PlacementError(PrivagicError):
+    """The placement optimizer produced (or was asked for) something
+    invalid: an unknown policy name, a decision that would relocate
+    secret-typed code or silence a chunk that hosts visible effects,
+    or a partitioned output that fails the post-optimization
+    structural re-check."""
+
+
 class RuntimeFault(PrivagicError):
     """A fault during simulated execution (bad address, SGX access
     violation, deadlock in the worker/channel runtime).

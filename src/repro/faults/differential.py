@@ -164,11 +164,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--mode", default="relaxed",
                         choices=["relaxed", "hardened"])
     parser.add_argument("--engines", default="decoded,traced,legacy")
+    parser.add_argument("--optimize", default=None, metavar="POLICY",
+                        help="placement policy arm (none/kl/profile): "
+                             "the sweep runs against the optimized "
+                             "partition, so optimized placements keep "
+                             "the identical-or-typed-fault contract")
     options = parser.parse_args(argv)
 
     with open(options.source) as handle:
         source = handle.read()
-    program = compile_and_partition(source, mode=options.mode)
+    program = compile_and_partition(source, mode=options.mode,
+                                    optimize=options.optimize)
     seeds = range(options.base_seed,
                   options.base_seed + options.seeds)
     records = chaos_sweep(

@@ -21,6 +21,7 @@ from repro.pipeline.passes import (
     DCEPass,
     FunctionPass,
     Mem2RegPass,
+    OptimizePlacementPass,
     PartitionPass,
     Pass,
     SecureTypeAnalysisPass,
@@ -47,6 +48,7 @@ __all__ = [
     "DCEPass",
     "StructRewritePass",
     "SecureTypeAnalysisPass",
+    "OptimizePlacementPass",
     "PartitionPass",
     "VerifyPass",
 ]

@@ -44,7 +44,9 @@ class CompilationContext:
                  sync_barriers: bool = True,
                  metrics: Optional[MetricsRegistry] = None,
                  tracer=None,
-                 cache: Optional[AnalysisCache] = None):
+                 cache: Optional[AnalysisCache] = None,
+                 optimize: Optional[str] = None,
+                 profile: Optional[dict] = None):
         self.module = module
         self.mode = mode
         self.entries = list(entries) if entries is not None else None
@@ -52,8 +54,21 @@ class CompilationContext:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
         self.cache = cache if cache is not None else AnalysisCache()
+        #: Placement policy name for the ``optimize-placement`` pass
+        #: (None/"none" keeps the historical color-home placement).
+        self.optimize = optimize
+        #: Measured traffic profile for the ``profile`` policy.
+        self.profile = profile
         #: AnalysisResult deposited by the ``secure-types`` pass.
         self.analysis = None
+        #: Shared PartitionPlanner deposited by ``optimize-placement``.
+        self.planner = None
+        #: PlacementDecisions deposited by ``optimize-placement``.
+        self.placement = None
+        #: PartitionGraph deposited by ``optimize-placement``.
+        self.placement_graph = None
+        #: Before/after summary deposited by ``optimize-placement``.
+        self.placement_report = None
         #: PartitionedProgram deposited by the ``partition`` pass.
         self.program = None
         #: One entry per executed pass, in order.

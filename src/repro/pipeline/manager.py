@@ -21,6 +21,7 @@ from repro.pipeline.passes import (
     DCEPass,
     FunctionPass,
     Mem2RegPass,
+    OptimizePlacementPass,
     PartitionPass,
     Pass,
     SecureTypeAnalysisPass,
@@ -33,8 +34,8 @@ from repro.pipeline.passes import (
 #: Every pass the manager can schedule by name.
 PASS_REGISTRY = {cls.name: cls for cls in (
     Mem2RegPass, SimplifyCFGPass, ConstFoldPass, DCEPass,
-    StructRewritePass, SecureTypeAnalysisPass, PartitionPass,
-    TraceCompilePass, VerifyPass,
+    StructRewritePass, SecureTypeAnalysisPass, OptimizePlacementPass,
+    PartitionPass, TraceCompilePass, VerifyPass,
 )}
 
 #: The paper's Figure-5 compile pipeline, with the optimization trio
@@ -44,12 +45,12 @@ PASS_REGISTRY = {cls.name: cls for cls in (
 #: simplify-cfg's branch folding, and DCE last to sweep the operands
 #: both passes orphaned.
 DEFAULT_PIPELINE = ("mem2reg", "constfold", "simplify-cfg", "dce",
-                    "struct-rewrite", "secure-types", "partition",
-                    "trace-compile")
+                    "struct-rewrite", "secure-types",
+                    "optimize-placement", "partition", "trace-compile")
 
 #: Same pipeline without partitioning or trace planning — ``repro
-#: analyze`` stops after the type analysis and reports the collected
-#: errors.
+#: analyze`` stops after the placement optimizer, so it can report
+#: the partition plan and quality without materializing chunks.
 ANALYZE_PIPELINE = DEFAULT_PIPELINE[:-2]
 
 #: What the MiniC frontend runs on freshly generated IR.
@@ -126,7 +127,8 @@ class PassManager:
     def run(self, target, mode: str = "hardened",
             entries: Optional[Sequence[str]] = None,
             sync_barriers: bool = True, metrics=None,
-            tracer=None) -> CompilationContext:
+            tracer=None, optimize: Optional[str] = None,
+            profile: Optional[dict] = None) -> CompilationContext:
         """Run the pipeline over ``target`` (a Module or an existing
         :class:`CompilationContext`) and return the context."""
         if isinstance(target, CompilationContext):
@@ -134,7 +136,8 @@ class PassManager:
         else:
             ctx = CompilationContext(target, mode=mode, entries=entries,
                                      sync_barriers=sync_barriers,
-                                     metrics=metrics, tracer=tracer)
+                                     metrics=metrics, tracer=tracer,
+                                     optimize=optimize, profile=profile)
         for p in self.passes:
             self._run_one(ctx, p)
         ctx.publish_cache_stats()

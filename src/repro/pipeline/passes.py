@@ -131,10 +131,47 @@ class SecureTypeAnalysisPass(Pass):
                 "analysis_errors": len(ctx.analysis.errors)}
 
 
+class OptimizePlacementPass(Pass):
+    """Cost-aware placement optimization (ROADMAP item 3): build the
+    partition graph over the planner's protocol decisions, run the
+    selected :class:`~repro.core.placement.PlacementPolicy`, and
+    deposit the shared planner plus the verified decisions for the
+    ``partition`` pass.  A no-op with the default ``none`` policy, so
+    pipelines that never opt in stay bit-identical."""
+
+    name = "optimize-placement"
+    preserves_cfg = True
+
+    def run(self, ctx):
+        policy = ctx.optimize or "none"
+        if policy == "none":
+            return {"placement_moves": 0}
+        from repro.core.analysis import analyze_module
+        from repro.core.placement import (
+            optimize_placement,
+            placement_report,
+        )
+        if ctx.analysis is None:
+            ctx.analysis = analyze_module(ctx.module, ctx.mode,
+                                          entries=ctx.entries, check=False,
+                                          cache=ctx.cache)
+        ctx.analysis.check()
+        ctx.planner, ctx.placement_graph, ctx.placement = \
+            optimize_placement(ctx.analysis, policy,
+                               profile=ctx.profile, cache=ctx.cache)
+        ctx.placement_report = placement_report(ctx.placement_graph,
+                                                ctx.placement)
+        return {"placement_moves": ctx.placement.moves,
+                "placement_gain_cycles": round(
+                    ctx.placement.gain_cycles, 1)}
+
+
 class PartitionPass(Pass):
     """Rewrite the analyzed module into per-color partitions (paper
     §7).  Raises the first :class:`SecureTypeError` if the preceding
-    analysis found violations."""
+    analysis found violations.  Consumes the shared planner and the
+    placement decisions when ``optimize-placement`` ran, and re-checks
+    the optimized output structurally."""
 
     name = "partition"
     preserves_cfg = False
@@ -147,7 +184,11 @@ class PartitionPass(Pass):
                                           entries=ctx.entries, check=False,
                                           cache=ctx.cache)
         ctx.program = partition(ctx.analysis, ctx.sync_barriers,
-                                cache=ctx.cache)
+                                cache=ctx.cache, planner=ctx.planner,
+                                placement=ctx.placement)
+        if ctx.placement is not None:
+            from repro.core.placement import verify_placement
+            verify_placement(ctx.program)
         return {"partitions": len(ctx.program.modules)}
 
 

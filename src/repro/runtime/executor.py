@@ -149,6 +149,11 @@ class PrivagicRuntime:
         self.fault_injector = None
         self._groups: Dict[int, WorkerGroup] = {}
         self._next_group = 1
+        #: Channel traffic of worker groups already retired by
+        #: :meth:`retire_finished` — merged into :meth:`channel_traffic`
+        #: so a long-lived serving runtime still reports its full
+        #: measured history.
+        self._retired_traffic: Dict[str, Dict[str, int]] = {}
         ext = {
             "__privagic_spawn": self._ext_spawn,
             "__privagic_send": self._ext_send,
@@ -358,6 +363,26 @@ class PrivagicRuntime:
                 totals[kind] = totals.get(kind, 0) + count
         return totals
 
+    def channel_traffic(self) -> Dict[str, Dict[str, int]]:
+        """Measured per-channel message counts, aggregated over every
+        worker group: ``{"src->dst": {kind: count}}``.  This is the
+        raw feedback the profile-guided placement policy consumes
+        (:func:`repro.core.placement.profile_from_runtime`)."""
+        traffic: Dict[str, Dict[str, int]] = {
+            channel: dict(kinds)
+            for channel, kinds in self._retired_traffic.items()}
+        for group in self._groups.values():
+            self._merge_traffic(traffic, group)
+        return traffic
+
+    @staticmethod
+    def _merge_traffic(traffic: Dict[str, Dict[str, int]],
+                       group) -> None:
+        for (src, dst), channel in group.matrix.channels.items():
+            per = traffic.setdefault(f"{src}->{dst}", {})
+            for kind, count in channel.kind_sent.items():
+                per[kind] = per.get(kind, 0) + count
+
     # -- scheduling ---------------------------------------------------------------------
 
     def start(self, entry: str, args: Sequence[object] = ()) \
@@ -473,6 +498,7 @@ class PrivagicRuntime:
                 kept.extend(group.workers.values())
             else:
                 retired += len(group.workers)
+                self._merge_traffic(self._retired_traffic, group)
                 del self._groups[group_id]
         contexts[:] = kept
         return retired

@@ -134,3 +134,22 @@ def test_long_chaos_sweep(fig7_program):
         program, range(100), entry="run_cache", args=[40],
         externals=DECLASSIFY_EXTERNALS, max_steps=30_000_000)
     assert summarize(records)[SILENTLY_WRONG] == 0
+
+def test_kl_optimized_partition_keeps_the_chaos_contract():
+    """The placement optimizer must not weaken fault detection: the
+    kl-optimized fig7 partition runs the same fixed-seed sweep and
+    still ends every run identical or typed-fault — elided barrier
+    tokens are dead synchronization weight, not a lost detection."""
+    with open(FIG7_PATH) as handle:
+        source = handle.read()
+    program = compile_and_partition(source, mode="relaxed",
+                                    optimize="kl")
+    records = chaos_sweep(program, range(30))
+    summary = summarize(records)
+    assert summary["runs"] == 90
+    assert summary[SILENTLY_WRONG] == 0, [
+        r for r in records if r["verdict"] == SILENTLY_WRONG]
+    assert summary["fired"] >= 10
+    for record in records:
+        if record["fault"]:
+            assert record["fault"] in TYPED_FAULTS, record

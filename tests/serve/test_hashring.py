@@ -77,3 +77,36 @@ def test_membership_errors():
     with pytest.raises(ValueError):
         ring.remove("a")
     assert len(ring) == 1
+
+
+def test_membership_change_moves_at_most_2_over_n():
+    """The serving claim: one shard joining or leaving remaps at most
+    ~2/N of the keyspace (expectation is 1/(N+1) on add, 1/N on
+    remove; 2/N is the honest bound with 64 virtual points)."""
+    keys = [f"user{i}" for i in range(4000)]
+    for n in (4, 8):
+        nodes = [f"shard{i}" for i in range(n)]
+        before = HashRing(nodes)
+        grown = HashRing(nodes)
+        grown.add(f"shard{n}")
+        moved = sum(before.lookup(k) != grown.lookup(k) for k in keys)
+        assert moved / len(keys) <= 2.0 / n, (
+            f"add to {n} shards moved {moved}/{len(keys)}")
+        shrunk = HashRing(nodes)
+        shrunk.remove("shard0")
+        moved = sum(before.lookup(k) != shrunk.lookup(k) for k in keys)
+        assert moved / len(keys) <= 2.0 / n, (
+            f"remove from {n} shards moved {moved}/{len(keys)}")
+
+
+def test_lookup_never_returns_an_unowned_node():
+    """Through an add/remove churn sequence, every lookup lands on a
+    current member — a departed shard never owns a key."""
+    ring = HashRing([f"shard{i}" for i in range(4)])
+    keys = [f"user{i}" for i in range(1000)]
+    for step in (("add", "shard4"), ("remove", "shard1"),
+                 ("add", "shard5"), ("remove", "shard0")):
+        getattr(ring, step[0])(step[1])
+        members = set(ring.nodes)
+        for key in keys:
+            assert ring.lookup(key) in members

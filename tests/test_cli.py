@@ -335,3 +335,96 @@ def test_readme_exit_code_table_matches_source_of_truth():
     for code, name, meaning in exit_code_table():
         row = f"| {code} | `{name}` | {meaning} |"
         assert row in text, f"README is missing the row: {row}"
+
+
+# -- placement optimization flags ---------------------------------------------
+
+FIG7_EFFECTFUL = """
+    int unsafe_g = 0;
+    int color(blue) blue_g = 10;
+    int color(red) red_g = 0;
+    void g(int n) { blue_g = n; red_g = n; printf("Hello\\n"); }
+    int f(int y) { g(21); return 42; }
+    entry int main() { unsafe_g = 1; int x = f(blue_g); return x; }
+"""
+
+
+@pytest.fixture
+def effectful_file(tmp_path):
+    path = tmp_path / "fig7_effectful.c"
+    path.write_text(FIG7_EFFECTFUL)
+    return str(path)
+
+
+def test_analyze_partition_stats_prints_the_color_table(
+        effectful_file, capsys):
+    assert main(["analyze", effectful_file, "--mode", "relaxed",
+                 "--partition-stats"]) == 0
+    out = capsys.readouterr().out
+    assert "color" in out and "tcb" in out
+    assert "blue" in out and "red" in out
+
+
+def test_compile_optimize_kl_with_stats(effectful_file, capsys):
+    assert main(["compile", effectful_file, "--mode", "relaxed",
+                 "--optimize", "kl", "--partition-stats"]) == 0
+    out = capsys.readouterr().out
+    assert "placement report:" in out
+    assert '"policy": "kl"' in out
+
+
+def test_unknown_optimize_policy_suggests_a_fix(effectful_file,
+                                                capsys):
+    assert main(["compile", effectful_file, "--mode", "relaxed",
+                 "--optimize", "k1"]) == 1
+    err = capsys.readouterr().err
+    assert "did you mean 'kl'" in err
+
+
+def test_run_optimize_kl_is_behavior_preserving(effectful_file,
+                                                capsys):
+    assert main(["run", "--mode", "relaxed", effectful_file]) == 0
+    baseline = capsys.readouterr().out
+    assert main(["run", "--mode", "relaxed", "--optimize", "kl",
+                 effectful_file]) == 0
+    optimized = capsys.readouterr().out
+    assert "main() = 42" in baseline and "main() = 42" in optimized
+    assert "Hello" in baseline and "Hello" in optimized
+
+    def messages(text):
+        import ast
+        for line in text.splitlines():
+            if line.startswith("messages:"):
+                stats = ast.literal_eval(line.split(":", 1)[1].strip())
+                return stats["messages"]
+        raise AssertionError(f"no messages line in {text!r}")
+
+    assert messages(optimized) < messages(baseline)
+
+
+def test_run_profile_roundtrip_via_files(effectful_file, tmp_path,
+                                         capsys):
+    """--profile-out from an unoptimized run feeds --profile-in on
+    the next compile: the CLI loop of the profile policy."""
+    import json
+
+    profile_path = tmp_path / "traffic.json"
+    assert main(["run", "--mode", "relaxed", effectful_file,
+                 "--profile-out", str(profile_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"profile: wrote {profile_path}" in out
+    profile = json.loads(profile_path.read_text())
+    assert profile["channels"]
+    assert main(["run", "--mode", "relaxed", effectful_file,
+                 "--optimize", "profile",
+                 "--profile-in", str(profile_path),
+                 "--partition-stats"]) == 0
+    assert '"policy": "profile"' in capsys.readouterr().out
+
+
+def test_profile_policy_without_profile_in_is_friendly(
+        effectful_file, capsys):
+    assert main(["run", "--mode", "relaxed", effectful_file,
+                 "--optimize", "profile"]) == 1
+    err = capsys.readouterr().err
+    assert "--profile-out" in err
