@@ -171,6 +171,89 @@ print(f"shard smoke: kill+recovery OK (1 restart, "
       f"{replayed} keys replayed, no client-visible errors)")
 PYEOF
 
+# Netchaos smoke: a fixed-seed socket-chaos differential sweep —
+# every injected reset/slow/short/garble schedule must end identical
+# to the clean run or in a typed fault (the module exits 1 on any
+# silently-wrong or hung run); the shell-level timeout guarantees
+# the smoke itself cannot hang the check.
+timeout 300 python -m repro.faults.netchaos --seeds 8 \
+    --base-seed 1234 --ops 80
+echo "netchaos smoke: identical-or-typed contract OK"
+
+# Self-healing smoke: kill a shard mid-run (the deterministic
+# crash fuse) with the rebalance policy — the ring must shrink, the
+# dead shard's acked state must migrate to the survivor, and the run
+# must stay client-clean with the same final ledger as an unkilled
+# run.
+timeout 300 python - <<'PYEOF'
+from repro.serve import RouterConfig, RouterThread
+from repro.serve.loadgen import run_load
+
+
+def one_run(kill):
+    config = RouterConfig(port=0, shards=2, batch=8,
+                          on_death="rebalance",
+                          crash_after={0: 60} if kill else {})
+    with RouterThread(config) as rt:
+        report = run_load("127.0.0.1", rt.router.port, workload="A",
+                          clients=3, ops=240, records=32,
+                          value_bytes=24, seed=7, lockstep=True)
+        rt.stop()
+    assert rt.error is None, rt.error
+    assert rt.router.drained, "router did not drain"
+    assert report["errors"] == 0, report
+    assert report["dropped_connections"] == 0, report
+    assert report.get("abandoned", 0) == 0, report
+    return rt
+
+clean = one_run(kill=False)
+killed = one_run(kill=True)
+stats = killed.router.stats()
+assert stats["rebalances"] == 1, stats
+assert len(stats["ring_nodes"]) == 1, stats
+assert stats["lost_keys"] == 0, stats
+migrated = killed.router.registry.counter(
+    "router.migrated_keys").get()
+assert migrated > 0, "rebalance migrated no keys"
+assert killed.router.final_digests() == \
+    clean.router.final_digests(), \
+    "rebalanced ledger diverged from the clean run"
+print(f"self-healing smoke: kill+rebalance OK ({migrated} keys "
+      f"migrated, ledger identical to the clean run)")
+
+# Degraded mode: kill a shard under on_death=degrade and check a
+# lost key answers the typed SHARD_UNAVAILABLE response (not a
+# stall), while the survivor's keyspace keeps serving.
+from repro.apps.minicache import protocol
+from repro.serve.loadgen import LoadClient
+
+config = RouterConfig(port=0, shards=2, batch=8, on_death="degrade",
+                      crash_after={0: 40})
+with RouterThread(config) as rt:
+    client = LoadClient("127.0.0.1", rt.router.port)
+    values = {}
+    for i in range(60):
+        key = f"user{i}"
+        assert client.set(key, b"x%d" % i) == protocol.STORED
+        values[key] = b"x%d" % i
+    lost = served = 0
+    for key, value in values.items():
+        response = client.get(key)
+        if response == protocol.SHARD_UNAVAILABLE:
+            lost += 1
+        else:
+            assert protocol.parse_value_response(response) == value
+            served += 1
+    client.close()
+    rt.stop()
+assert rt.error is None, rt.error
+assert lost > 0, "no key answered SHARD_UNAVAILABLE"
+assert served > 0, "no surviving key kept serving"
+assert len(rt.router.stats()["ring_nodes"]) == 1
+print(f"self-healing smoke: degraded mode OK ({lost} keys typed "
+      f"SHARD_UNAVAILABLE, {served} keys kept serving)")
+PYEOF
+
 # BENCH_interp regression gate: the committed dispatch numbers must
 # keep the decoded engine >= 5x legacy and the trace tier >= 2.5x
 # decoded on the fig7 workload, so interpreter throughput is enforced

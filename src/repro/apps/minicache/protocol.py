@@ -133,6 +133,10 @@ ERROR = f"ERROR{CRLF}"
 #: Backpressure response of the socket server (repro.serve): the
 #: pending-request queue is full and this request was shed.
 SERVER_BUSY = f"SERVER_BUSY{CRLF}"
+#: Degraded-mode response of the sharded router (repro.serve): the
+#: shard owning this key is confirmed dead and its state was not
+#: migrated, so the request cannot be served until the shard returns.
+SHARD_UNAVAILABLE = f"SHARD_UNAVAILABLE{CRLF}"
 
 
 def parse_value_response(text: str) -> Optional[bytes]:

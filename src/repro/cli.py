@@ -182,6 +182,52 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-recover", action="store_true",
                        help="do not restart dead shards; a shard "
                             "death becomes a typed EnclaveCrash")
+    serve.add_argument("--on-death", default="restart",
+                       choices=["restart", "rebalance", "degrade",
+                                "fault"],
+                       help="confirmed-shard-death policy (requires "
+                            "--shards; default: restart)")
+    serve.add_argument("--max-restarts", type=int, default=3,
+                       metavar="N",
+                       help="consecutive recoveries per shard before "
+                            "its circuit breaker opens (default: 3)")
+    serve.add_argument("--spawn-timeout", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="shard-worker ready-line deadline "
+                            "(default: 60)")
+    serve.add_argument("--connect-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="per-attempt shard connect cap "
+                            "(default: 10)")
+    serve.add_argument("--connect-retries", type=int, default=3,
+                       metavar="N",
+                       help="extra shard connect attempts with "
+                            "exponential backoff (default: 3)")
+    serve.add_argument("--probe-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="probe an idle shard after this many "
+                            "reply-free seconds (default: off)")
+    serve.add_argument("--probe-timeout", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="an unanswered probe older than this is "
+                            "a confirmed shard death (default: 5)")
+    serve.add_argument("--forward-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="a busy shard whose oldest in-flight "
+                            "request is older than this is dead "
+                            "(default: off)")
+    serve.add_argument("--orphan-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="shard workers self-terminate after "
+                            "this many connection-free seconds "
+                            "(default: off)")
+    serve.add_argument("--net-inject", metavar="SPEC", default=None,
+                       help="socket-chaos schedule for the shard "
+                            "links (net-reset/-slow/-short/-garble; "
+                            "see repro.faults.netchaos)")
+    serve.add_argument("--net-chaos-seed", type=int, default=None,
+                       metavar="SEED",
+                       help="seed for the socket-chaos RNG")
     serve.add_argument("--trace", metavar="OUT.json", default=None,
                        help="write a Chrome trace_event JSON of the "
                             "serving run")
@@ -207,6 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--value-bytes", type=int, default=None,
                          help="value size (default: the workload's "
                               "record_bytes)")
+    loadgen.add_argument("--max-retries", type=int, default=500,
+                         help="SERVER_BUSY retries per operation "
+                              "before abandoning it (default: 500)")
     loadgen.add_argument("--no-preload", action="store_true",
                          help="skip preloading the keyspace")
     loadgen.add_argument("--lockstep", action="store_true",
@@ -510,6 +559,17 @@ def _cmd_serve_sharded(options) -> int:
         watchdog_steps=options.watchdog_steps,
         max_requests=options.max_requests,
         recover=not options.no_recover,
+        on_death=options.on_death,
+        max_restarts=options.max_restarts,
+        spawn_timeout=options.spawn_timeout,
+        connect_timeout=options.connect_timeout,
+        connect_retries=options.connect_retries,
+        probe_interval=options.probe_interval,
+        probe_timeout=options.probe_timeout,
+        forward_timeout=options.forward_timeout,
+        orphan_timeout=options.orphan_timeout,
+        net_inject=options.net_inject,
+        net_chaos_seed=options.net_chaos_seed,
         crash_after=_parse_kill_shard(options.kill_shard,
                                       options.shards)
         if options.kill_shard is not None else {},
@@ -565,7 +625,8 @@ def cmd_loadgen(options) -> int:
             records=options.records, seed=options.seed,
             value_bytes=options.value_bytes,
             preload=not options.no_preload,
-            lockstep=options.lockstep)
+            lockstep=options.lockstep,
+            max_retries=options.max_retries)
     except (ValueError, LoadError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -573,7 +634,8 @@ def cmd_loadgen(options) -> int:
         print(json_module.dumps(report, indent=2, sort_keys=True))
     else:
         print(format_report(report))
-    failed = report["dropped_connections"] or report["errors"]
+    failed = report["dropped_connections"] or report["errors"] \
+        or report["abandoned"]
     return 1 if failed else 0
 
 

@@ -116,14 +116,23 @@ class WatchdogTimeout(RuntimeFault):
     run exceeded ``max_steps`` — the loud upgrade of a silent hang."""
 
 
+class NetworkFault(RuntimeFault):
+    """The untrusted network between router and shard workers failed
+    past its bounded-retry budget: a connect that never succeeded, a
+    worker that missed its ready deadline, or a link the router gave
+    up re-establishing.  The loud, typed upgrade of a raw
+    ``OSError`` traceback or a silent hang on a dead socket."""
+
+
 #: CLI exit codes per fault class, most-derived first.  1 stays the
 #: generic :class:`PrivagicError` code and 2 the OS-error code; the
-#: runtime fault taxonomy gets 3-8.
+#: runtime fault taxonomy gets 3-9.
 FAULT_EXIT_CODES = (
     (DeadlockFault, 4),
     (IagoFault, 5),
     (EnclaveCrash, 6),
     (WatchdogTimeout, 7),
+    (NetworkFault, 9),
 )
 
 
@@ -170,6 +179,8 @@ def exit_code_table():
         EnclaveCrash: "a simulated AEX killed a worker that was not "
                       "restarted",
         WatchdogTimeout: "a context or run exceeded its step budget",
+        NetworkFault: "a router<->shard link failed past its bounded "
+                      "retry budget (connect, ready, or reconnect)",
     }
     rows = [
         (0, "success", "the command completed"),

@@ -22,6 +22,12 @@ stands:
 The injector never *hides* anything: every injection and every
 detection is counted (``injected`` / ``detected``) and emitted on the
 tracer's ``fault`` category, feeding the ``faults.*`` metrics.
+
+``net-*`` entries belong to the socket interposition layer
+(:mod:`repro.faults.netchaos`), not to the runtime: a plan may mix
+both kinds, and this injector deliberately leaves net entries inert
+(they are excluded from ``armed`` and never fire here) so one
+``--inject`` string can drive both layers without cross-talk.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.faults.plan import (
     CHANNEL_ACTIONS,
     ENCLAVE_ACTIONS,
     IAGO_ACTION,
+    NET_ACTIONS,
     FaultPlan,
 )
 from repro.runtime.iago import GUARDS, verify_external_result
@@ -89,7 +96,10 @@ class FaultInjector:
 
     @property
     def armed(self) -> int:
-        return len(self.plan.entries)
+        """Entries this injector can actually fire — net entries are
+        the netchaos layer's and do not count."""
+        return sum(1 for entry in self.plan.entries
+                   if entry.action not in NET_ACTIONS)
 
     def injected_total(self) -> int:
         return sum(self.injected.values())

@@ -12,6 +12,10 @@ injection: *what* to do (``channel-drop``, ``iago-retval``, ...),
       iago-retval:malloc:1:replay       replay malloc's previous result
       enclave-crash:green:1             AEX the green worker, no restart
       enclave-restart:*:2               crash+replay at the 2nd delivery
+      net-reset:shard0:3                reset shard0's link, 3rd socket op
+      net-slow:*:2:50                   50ms stall at the 2nd socket op
+      net-short:shard1:1                short write/read on shard1's link
+      net-garble:shard0:4               truncate/garble received bytes
 
   Entries are comma-separated; ``*`` wildcards a route endpoint, a
   message kind, an external or a color.
@@ -38,6 +42,11 @@ CHANNEL_ACTIONS = ("channel-drop", "channel-dup", "channel-corrupt",
 ENCLAVE_ACTIONS = ("enclave-crash", "enclave-restart")
 #: The untrusted-external return-value action.
 IAGO_ACTION = "iago-retval"
+#: Socket-level actions of the netchaos interposition layer
+#: (repro.faults.netchaos): applied to a router<->shard or
+#: client<->router stream, selected by endpoint label ("shard0",
+#: "client", or "*").
+NET_ACTIONS = ("net-reset", "net-slow", "net-short", "net-garble")
 #: How an Iago injection perturbs an integer return value.
 IAGO_MODES = ("offset", "huge", "negative", "zero", "replay")
 #: Protocol message kinds a channel entry can select on.
@@ -92,6 +101,9 @@ class FaultEntry:
             return f"{self.action}:{route}:{self.msg_kind}:{self.nth}"
         if self.action == IAGO_ACTION:
             return f"{self.action}:{self.target}:{self.nth}:{self.mode}"
+        if self.action == "net-slow":
+            return (f"{self.action}:{self.target}:{self.nth}"
+                    f":{self.mode}")
         return f"{self.action}:{self.target}:{self.nth}"
 
     def __repr__(self) -> str:
@@ -158,8 +170,31 @@ def _parse_entry(text: str) -> FaultEntry:
                 f"{action}: expected {action}:COLOR:NTH, got {text!r}")
         return FaultEntry(action, target=parts[1],
                           nth=_parse_nth(action, parts[2]))
+    if action in NET_ACTIONS:
+        if action == "net-slow":
+            if len(parts) not in (3, 4):
+                raise FaultSpecError(
+                    f"{action}: expected "
+                    f"{action}:ENDPOINT:NTH[:MS], got {text!r}")
+            ms = parts[3] if len(parts) == 4 else "25"
+            try:
+                if int(ms) < 1:
+                    raise ValueError
+            except ValueError:
+                raise FaultSpecError(
+                    f"{action}: delay {ms!r} is not a positive "
+                    f"millisecond count")
+            return FaultEntry(action, target=parts[1],
+                              nth=_parse_nth(action, parts[2]),
+                              mode=ms)
+        if len(parts) != 3:
+            raise FaultSpecError(
+                f"{action}: expected {action}:ENDPOINT:NTH, "
+                f"got {text!r}")
+        return FaultEntry(action, target=parts[1],
+                          nth=_parse_nth(action, parts[2]))
     known = ", ".join(CHANNEL_ACTIONS + (IAGO_ACTION,)
-                      + ENCLAVE_ACTIONS)
+                      + ENCLAVE_ACTIONS + NET_ACTIONS)
     raise FaultSpecError(
         f"unknown fault action {action!r} (expected one of {known})")
 
@@ -225,6 +260,41 @@ class FaultPlan:
                 entries.append(FaultEntry(
                     action, target=rng.choice(colors),
                     nth=rng.randint(1, 3)))
+        return cls(entries, seed=seed)
+
+    @classmethod
+    def random_net(cls, seed: int, shards: int,
+                   include_client: bool = False,
+                   count: Optional[int] = None) -> "FaultPlan":
+        """Draw a reproducible socket-chaos plan from ``seed``.
+
+        Entries target the ``shard{i}`` links of a sharded router
+        (plus the ``client`` side when ``include_client``); the sweep
+        in :mod:`repro.faults.netchaos` keeps the default shard-only
+        targeting so the admitted operation stream stays comparable
+        to the clean run.  The ``*`` wildcard matches *every* wrapped
+        stream at runtime — client links included — so it is only
+        drawn under ``include_client``; shard-only plans name their
+        shard explicitly.
+        """
+        rng = random.Random(seed)
+        endpoints = [f"shard{i}" for i in range(shards)]
+        if include_client:
+            endpoints.append("client")
+            endpoints.append("*")
+        entries: List[FaultEntry] = []
+        for _ in range(count if count is not None
+                       else rng.randint(1, 3)):
+            action = rng.choice(NET_ACTIONS)
+            target = rng.choice(endpoints)
+            nth = rng.randint(1, 6)
+            if action == "net-slow":
+                entries.append(FaultEntry(
+                    action, target=target, nth=nth,
+                    mode=str(rng.choice((10, 25, 50, 100)))))
+            else:
+                entries.append(FaultEntry(action, target=target,
+                                          nth=nth))
         return cls(entries, seed=seed)
 
     def spec(self) -> str:

@@ -168,6 +168,13 @@ class MetricsRegistry:
     def observe(self, name: str, value: Number) -> None:
         self.histogram(name).observe(value)
 
+    def value(self, name: str, default: Number = 0) -> object:
+        """Read a metric's current value without creating it — the
+        lookup tests and smoke scripts use (a missing counter reads
+        as ``default``, not as a freshly minted zero entry)."""
+        metric = self._metrics.get(name)
+        return metric.get() if metric is not None else default
+
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 

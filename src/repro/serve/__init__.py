@@ -12,21 +12,30 @@ multi-threaded YCSB load generator reporting throughput and latency
 percentiles (:mod:`repro.serve.loadgen`), and the sharded
 multi-process tier — consistent hashing
 (:mod:`repro.serve.hashring`), per-shard worker processes
-(:mod:`repro.serve.shard_worker`) and the front router with
-cross-shard integrity checking and exact crash replay
-(:mod:`repro.serve.router`).
+(:mod:`repro.serve.shard_worker`), the front router with cross-shard
+integrity checking, exact crash replay and self-healing membership
+(:mod:`repro.serve.router`), and the failure-detection primitives
+the router composes — bounded-backoff connects, liveness probes,
+per-shard circuit breakers (:mod:`repro.serve.health`).
 """
 
 from repro.serve.engine import SecureKVEngine
 from repro.serve.framing import FrameError, RequestFramer, ResponseFramer
 from repro.serve.hashring import HashRing
+from repro.serve.health import (
+    CircuitBreaker,
+    HealthMonitor,
+    connect_with_backoff,
+)
 from repro.serve.loadgen import LoadClient, run_load
 from repro.serve.router import RouterConfig, RouterThread, ShardRouter
 from repro.serve.server import PrivagicServer, ServeConfig, ServerThread
 
 __all__ = [
+    "CircuitBreaker",
     "FrameError",
     "HashRing",
+    "HealthMonitor",
     "LoadClient",
     "PrivagicServer",
     "RequestFramer",
@@ -37,5 +46,6 @@ __all__ = [
     "ServeConfig",
     "ServerThread",
     "ShardRouter",
+    "connect_with_backoff",
     "run_load",
 ]

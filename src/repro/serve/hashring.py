@@ -9,13 +9,16 @@ ring and assigns a key to the first shard point clockwise from the
 key's own hash.  Adding or removing one shard then moves only the
 arcs adjacent to its points — ``1/N`` of the keyspace in expectation.
 
-Determinism matters more here than churn (the router spawns a fixed
-worker set and restarts dead workers under the *same* name, so the
-ring never actually changes mid-run): the same shard names must
+Determinism matters as much as churn: the same shard names must
 produce the same placement in the router, in the recovery replayer
 and in every test oracle, across processes and Python versions.
 Points therefore come from ``blake2b``, never from :func:`hash` with
-its per-process ``PYTHONHASHSEED``.
+its per-process ``PYTHONHASHSEED``.  Membership is also
+*order-insensitive* — :meth:`_rebuild` sorts all points, so removing
+a node and later adding it back restores the exact original
+ownership map, which is what lets the router's rebalancing
+(``on_death=rebalance``) migrate a dead shard's keys away and then
+migrate precisely the same arcs back when the shard returns.
 """
 
 from __future__ import annotations
@@ -93,6 +96,12 @@ class HashRing:
         self._rebuild()
 
     # -- introspection -----------------------------------------------------------
+
+    def assignments(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Map each key to its owner — the bulk form of
+        :meth:`lookup` the rebalancer and the movement tests use to
+        compare whole placements across membership changes."""
+        return {key: self.lookup(key) for key in keys}
 
     def ownership(self) -> Dict[str, float]:
         """Fraction of the ring each node owns (sums to 1.0) — the

@@ -10,8 +10,16 @@ server, measures per-operation latency, and reports throughput plus
 p50/p95/p99.
 
 ``SERVER_BUSY`` answers (the server's backpressure) are retried with
-a short pause and counted — shedding is load regulation, not an
-error.  A reset or refused connection *is* counted, in
+a jittered exponential pause and counted — shedding is load
+regulation, not an error.  The jitter draws from a per-client seeded
+RNG (``blake2b("loadgen-retry:<seed>:<client>")``), so retry timing
+is reproducible under ``--seed`` like everything else; an operation
+that exhausts its retry budget is *abandoned* (counted, reported,
+nonzero exit) rather than aborting the whole run.
+``SHARD_UNAVAILABLE`` answers (the sharded router's degraded mode)
+are likewise counted, not retried: the router has declared the key's
+owner dead, and retrying cannot help until the shard returns.  A
+reset or refused connection *is* counted, in
 ``dropped_connections``: the acceptance bar for the server is zero.
 
 Runs standalone (``python -m repro.serve.loadgen --port N``) and
@@ -188,25 +196,53 @@ class _LockstepGate:
             self._cond.notify_all()
 
 
+def _retry_rng(seed: int, index: int) -> random.Random:
+    """The per-client backoff RNG, hash-derived like
+    :func:`_client_seed` so retry jitter is a pure function of
+    (seed, client) and never aliases the workload streams."""
+    raw = hashlib.blake2b(f"loadgen-retry:{seed}:{index}".encode(
+        "ascii"), digest_size=8).digest()
+    return random.Random(int.from_bytes(raw, "big"))
+
+
 def _request_with_retry(client: LoadClient, encoded: str,
                         counters: Dict[str, int],
-                        max_retries: int = 500) -> str:
-    """Issue a request, retrying while the server sheds load."""
-    for _attempt in range(max_retries):
+                        max_retries: int = 500,
+                        rng: Optional[random.Random] = None) -> str:
+    """Issue a request, retrying while the server sheds load.
+
+    Backoff is exponential (2ms doubling to a 16ms cap) with a
+    multiplicative jitter drawn from ``rng`` — deterministic under
+    ``--seed``, yet de-synchronized across clients so a shed burst
+    does not retry in lockstep.  Exhausting ``max_retries`` abandons
+    the operation: the final ``SERVER_BUSY`` is returned and counted
+    in ``abandoned``, so one overloaded stretch degrades the report
+    instead of killing the worker.
+    """
+    attempt = 0
+    while True:
         response = client.request(encoded)
         if response != protocol.SERVER_BUSY:
             return response
+        if attempt >= max_retries:
+            counters["abandoned"] = counters.get("abandoned", 0) + 1
+            return response
         counters["shed"] += 1
-        time.sleep(0.002)
-    raise LoadError(f"server still busy after {max_retries} retries")
+        jitter = rng.random() if rng is not None else 0.5
+        time.sleep(min(0.016, 0.002 * (2 ** min(attempt, 3)))
+                   * (0.5 + jitter))
+        attempt += 1
 
 
 def _run_worker(host: str, port: int, workload: Workload,
                 record: bytes, barrier: threading.Barrier,
                 result: Dict[str, object], index: int = 0,
-                gate: Optional[_LockstepGate] = None) -> None:
+                gate: Optional[_LockstepGate] = None,
+                max_retries: int = 500,
+                rng: Optional[random.Random] = None) -> None:
     latencies: List[float] = []
-    counters = {"shed": 0, "errors": 0, "hits": 0, "ops": 0}
+    counters = {"shed": 0, "errors": 0, "hits": 0, "ops": 0,
+                "abandoned": 0, "unavailable": 0}
     result["latencies"] = latencies
     result["counters"] = counters
     result["dropped"] = 0
@@ -230,19 +266,26 @@ def _run_worker(host: str, port: int, workload: Workload,
             try:
                 if op.kind == "read":
                     response = _request_with_retry(
-                        client, protocol.encode_get(key), counters)
-                    if response != protocol.END:
+                        client, protocol.encode_get(key), counters,
+                        max_retries, rng)
+                    if response == protocol.SHARD_UNAVAILABLE:
+                        counters["unavailable"] += 1
+                    elif response != protocol.END:
                         counters["hits"] += 1
                 elif op.kind in ("update", "insert"):
-                    _request_with_retry(
+                    response = _request_with_retry(
                         client, protocol.encode_set(key, record),
-                        counters)
+                        counters, max_retries, rng)
+                    if response == protocol.SHARD_UNAVAILABLE:
+                        counters["unavailable"] += 1
                 elif op.kind == "rmw":
-                    _request_with_retry(
-                        client, protocol.encode_get(key), counters)
-                    _request_with_retry(
-                        client, protocol.encode_set(key, record),
-                        counters)
+                    for encoded in (protocol.encode_get(key),
+                                    protocol.encode_set(key, record)):
+                        response = _request_with_retry(
+                            client, encoded, counters, max_retries,
+                            rng)
+                        if response == protocol.SHARD_UNAVAILABLE:
+                            counters["unavailable"] += 1
             finally:
                 if gate is not None:
                     gate.release(index)
@@ -267,8 +310,8 @@ def _percentile(sorted_values: List[float], pct: float) -> float:
 def run_load(host: str, port: int, workload: str = "C",
              clients: int = 4, ops: int = 1000, records: int = 256,
              seed: int = 42, value_bytes: Optional[int] = None,
-             preload: bool = True,
-             lockstep: bool = False) -> Dict[str, object]:
+             preload: bool = True, lockstep: bool = False,
+             max_retries: int = 500) -> Dict[str, object]:
     """Replay ``ops`` total YCSB operations from ``clients`` threads;
     returns the aggregated report (see keys below).
 
@@ -287,10 +330,15 @@ def run_load(host: str, port: int, workload: str = "C",
         client = LoadClient(host, port)
         try:
             counters = {"shed": 0}
+            rng = _retry_rng(seed, -1)
             for key in range(records):
-                _request_with_retry(
+                response = _request_with_retry(
                     client, protocol.encode_set(f"user{key}", record),
-                    counters)
+                    counters, max_retries, rng)
+                if response != protocol.STORED:
+                    raise LoadError(
+                        f"preload of key user{key} answered "
+                        f"{response.strip()!r}")
         finally:
             client.close()
     barrier = threading.Barrier(clients + 1)
@@ -303,7 +351,8 @@ def run_load(host: str, port: int, workload: str = "C",
         thread = threading.Thread(
             target=_run_worker,
             args=(host, port, stream, record, barrier,
-                  results[index], index, gate),
+                  results[index], index, gate, max_retries,
+                  _retry_rng(seed, index)),
             daemon=True, name=f"loadgen-{index}")
         threads.append(thread)
         thread.start()
@@ -315,7 +364,8 @@ def run_load(host: str, port: int, workload: str = "C",
     latencies = sorted(
         value for result in results
         for value in result.get("latencies", ()))
-    totals = {"shed": 0, "errors": 0, "hits": 0, "ops": 0}
+    totals = {"shed": 0, "errors": 0, "hits": 0, "ops": 0,
+              "abandoned": 0, "unavailable": 0}
     dropped = 0
     for result in results:
         dropped += int(result.get("dropped", 0))
@@ -333,6 +383,8 @@ def run_load(host: str, port: int, workload: str = "C",
         "p99_ms": round(_percentile(latencies, 99) * 1e3, 3),
         "hits": totals["hits"],
         "shed_retries": totals["shed"],
+        "abandoned": totals["abandoned"],
+        "unavailable": totals["unavailable"],
         "errors": totals["errors"],
         "dropped_connections": dropped,
     }
@@ -347,7 +399,9 @@ def format_report(report: Dict[str, object]) -> str:
         f"  latency ms: p50={report['p50_ms']} "
         f"p95={report['p95_ms']} p99={report['p99_ms']}",
         f"  shed retries: {report['shed_retries']}  "
-        f"dropped connections: {report['dropped_connections']}  "
+        f"abandoned: {report.get('abandoned', 0)}  "
+        f"unavailable: {report.get('unavailable', 0)}",
+        f"  dropped connections: {report['dropped_connections']}  "
         f"errors: {report['errors']}",
     ])
 
@@ -371,6 +425,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--value-bytes", type=int, default=None,
                         help="value size (default: the workload's "
                              "record_bytes)")
+    parser.add_argument("--max-retries", type=int, default=500,
+                        help="SERVER_BUSY retries per operation "
+                             "before abandoning it (default: 500)")
     parser.add_argument("--no-preload", action="store_true",
                         help="skip preloading the keyspace")
     parser.add_argument("--lockstep", action="store_true",
@@ -391,7 +448,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             records=options.records, seed=options.seed,
             value_bytes=options.value_bytes,
             preload=not options.no_preload,
-            lockstep=options.lockstep)
+            lockstep=options.lockstep,
+            max_retries=options.max_retries)
     except (ValueError, LoadError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -402,7 +460,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(format_report(report))
-    failed = report["dropped_connections"] or report["errors"]
+    failed = report["dropped_connections"] or report["errors"] \
+        or report["abandoned"]
     return 1 if failed else 0
 
 

@@ -66,6 +66,12 @@ class ServeConfig:
     max_requests: Optional[int] = None  # accept N requests, then drain
     idle_poll: float = 0.05        # selector timeout when queue empty
     drain_timeout: float = 5.0     # reply-flush deadline on shutdown
+    #: Self-terminate after having served at least one connection and
+    #: then sitting connection-free for this long.  Shard workers run
+    #: with this armed so a router death cannot strand worker
+    #: processes: an orphaned worker notices its only client is gone
+    #: and drains instead of lingering forever.  ``None`` disables it.
+    orphan_timeout: Optional[float] = None
 
 
 class _Connection:
@@ -142,6 +148,7 @@ class PrivagicServer:
         self._accepted = 0          # requests admitted to the queue
         self._next_conn_id = 0
         self._oldest_pending_ts = 0.0   # batch-window anchor
+        self._orphan_since: Optional[float] = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -188,6 +195,7 @@ class PrivagicServer:
                             self._flush(conn)
                 if self.pending and self._round_ready(before):
                     self._drive_round()
+                self._check_orphaned()
             self._drain()
         except RuntimeFault as fault:
             self.fault = fault
@@ -198,6 +206,21 @@ class PrivagicServer:
             if self.selector is not None:
                 self.selector.close()
                 self.selector = None
+
+    def _check_orphaned(self) -> None:
+        """Arm/advance the orphan clock (see
+        :attr:`ServeConfig.orphan_timeout`)."""
+        if self.config.orphan_timeout is None:
+            return
+        if self.connections or not self._next_conn_id:
+            self._orphan_since = None
+            return
+        now = time.monotonic()
+        if self._orphan_since is None:
+            self._orphan_since = now
+        elif now - self._orphan_since >= self.config.orphan_timeout:
+            self.registry.inc("serve.orphan_exits")
+            self._stop = True
 
     # -- accept / read -----------------------------------------------------------
 

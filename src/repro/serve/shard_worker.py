@@ -98,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault-injection schedule for this "
                              "shard's runtime")
     parser.add_argument("--chaos-seed", type=int, default=None)
+    parser.add_argument("--orphan-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="exit after having had a client and "
+                             "then sitting connection-free this long "
+                             "(a dead router cannot strand workers)")
     return parser
 
 
@@ -107,7 +112,8 @@ def build_server(options) -> PrivagicServer:
         queue_depth=options.queue_depth,
         capacity_bytes=options.capacity_bytes,
         engine=options.engine, max_steps=options.max_steps,
-        watchdog_steps=options.watchdog_steps)
+        watchdog_steps=options.watchdog_steps,
+        orphan_timeout=options.orphan_timeout)
     if options.batch_window is not None:
         config.batch_window = options.batch_window
     engine_kwargs = dict(engine=options.engine,
@@ -162,7 +168,9 @@ def worker_command(shard_id: int, *, batch: int, queue_depth: int,
                    batch_window: Optional[float] = None,
                    crash_after: int = 0,
                    inject: Optional[str] = None,
-                   chaos_seed: Optional[int] = None) -> List[str]:
+                   chaos_seed: Optional[int] = None,
+                   orphan_timeout: Optional[float] = None
+                   ) -> List[str]:
     """The argv that spawns one worker (the router's single source
     of truth for the worker interface)."""
     # A -c entry rather than -m: runpy would import repro.serve (which
@@ -188,6 +196,8 @@ def worker_command(shard_id: int, *, batch: int, queue_depth: int,
         argv += ["--inject", inject]
     if chaos_seed is not None:
         argv += ["--chaos-seed", str(chaos_seed)]
+    if orphan_timeout is not None:
+        argv += ["--orphan-timeout", repr(orphan_timeout)]
     return argv
 
 

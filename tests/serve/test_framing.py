@@ -193,3 +193,101 @@ def test_response_unterminated_data_is_a_desync():
     framer.feed(b"VALUE k 0 5\r\nhelloXXEND\r\nzz")
     with pytest.raises(FrameError):
         framer.drain()
+
+
+# -- net-chaos edge cases: short reads, boundary splits, empty payloads ----------
+
+
+def test_request_byte_at_a_time_reassembly():
+    # The worst net-short stream: every recv delivers one byte.
+    full = b"set k 0 0 6\r\na\r\nb!!\r\nget k\r\ndelete k\r\n"
+    framer = RequestFramer()
+    frames = []
+    for i in range(len(full)):
+        framer.feed(full[i:i + 1])
+        frames += drain_all(framer)
+    assert frames == ["set k 0 0 6\r\na\r\nb!!\r\n", "get k\r\n",
+                      "delete k\r\n"]
+    assert framer.pending_bytes == 0
+
+
+def test_request_split_exactly_at_the_crlf_boundary():
+    # The header's CRLF itself can straddle two recvs — including a
+    # split *between* CR and LF.
+    framer = RequestFramer()
+    framer.feed(b"get user1\r")
+    assert drain_all(framer) == []
+    framer.feed(b"\n")
+    assert drain_all(framer) == ["get user1\r\n"]
+
+    framer = RequestFramer()
+    framer.feed(b"set k 0 0 2\r\nab\r")
+    assert drain_all(framer) == []
+    framer.feed(b"\n")
+    assert drain_all(framer) == ["set k 0 0 2\r\nab\r\n"]
+
+
+def test_request_zero_length_set_payload():
+    framer = RequestFramer()
+    framer.feed(b"set empty 0 0 0\r\n\r\nget empty\r\n")
+    assert drain_all(framer) == ["set empty 0 0 0\r\n\r\n",
+                                 "get empty\r\n"]
+
+
+def test_request_zero_length_payload_split_before_terminator():
+    framer = RequestFramer()
+    framer.feed(b"set empty 0 0 0\r\n")
+    assert drain_all(framer) == []      # CRLF terminator still owed
+    framer.feed(b"\r\n")
+    assert drain_all(framer) == ["set empty 0 0 0\r\n\r\n"]
+
+
+def test_request_empty_feed_is_harmless():
+    framer = RequestFramer()
+    framer.feed(b"")
+    assert drain_all(framer) == []
+    framer.feed(b"get k")
+    framer.feed(b"")
+    framer.feed(b"\r\n")
+    assert drain_all(framer) == ["get k\r\n"]
+
+
+def test_response_byte_at_a_time_reassembly():
+    full = b"VALUE k 0 6\r\nab\r\ncd\r\nEND\r\nSTORED\r\nEND\r\n"
+    framer = ResponseFramer()
+    responses = []
+    for i in range(len(full)):
+        framer.feed(full[i:i + 1])
+        responses += framer.drain()
+    assert responses == ["VALUE k 0 6\r\nab\r\ncd\r\nEND\r\n",
+                         "STORED\r\n", "END\r\n"]
+    assert framer.pending_bytes == 0
+
+
+def test_response_zero_length_value_payload():
+    framer = ResponseFramer()
+    framer.feed(b"VALUE empty 0 0\r\n\r\nEND\r\n")
+    assert framer.drain() == ["VALUE empty 0 0\r\n\r\nEND\r\n"]
+
+
+def test_response_zero_length_value_split_across_reads():
+    full = b"VALUE empty 0 0\r\n\r\nEND\r\n"
+    for cut in range(1, len(full)):
+        framer = ResponseFramer()
+        framer.feed(full[:cut])
+        first = framer.drain()
+        framer.feed(full[cut:])
+        assert first + framer.drain() == [full.decode("latin-1")], cut
+
+
+def test_request_partial_reads_across_hops():
+    # Mirror of the response-side sweep: every split point of a mixed
+    # request stream produces the same frames.
+    full = b"set k 0 0 4\r\nwxyz\r\nget k\r\n"
+    for cut in range(1, len(full)):
+        framer = RequestFramer()
+        framer.feed(full[:cut])
+        first = drain_all(framer)
+        framer.feed(full[cut:])
+        frames = first + drain_all(framer)
+        assert frames == ["set k 0 0 4\r\nwxyz\r\n", "get k\r\n"], cut

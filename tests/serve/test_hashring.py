@@ -110,3 +110,62 @@ def test_lookup_never_returns_an_unowned_node():
         members = set(ring.nodes)
         for key in keys:
             assert ring.lookup(key) in members
+
+
+def test_assignments_maps_every_key_to_its_owner():
+    ring = HashRing(["shard0", "shard1", "shard2"])
+    keys = [f"user{i}" for i in range(50)]
+    table = ring.assignments(keys)
+    assert set(table) == set(keys)
+    assert table == {key: ring.lookup(key) for key in keys}
+    assert set(table.values()) <= {"shard0", "shard1", "shard2"}
+
+
+def test_remove_then_readd_restores_the_exact_assignment_map():
+    """The self-healing re-add claim: because the ring is rebuilt
+    from sorted membership, removing a shard and adding it back by
+    name restores the byte-identical ownership map — so the inverse
+    migration returns every key to its original home."""
+    keys = [f"user{i}" for i in range(2000)]
+    for n in (2, 3, 8):
+        ring = HashRing([f"shard{i}" for i in range(n)])
+        before = ring.assignments(keys)
+        victim = f"shard{n // 2}"
+        ring.remove(victim)
+        assert victim not in set(ring.assignments(keys).values())
+        ring.add(victim)
+        assert ring.assignments(keys) == before
+
+
+def test_remove_moves_keys_only_to_survivors():
+    nodes = [f"shard{i}" for i in range(4)]
+    before = HashRing(nodes)
+    after = HashRing(nodes)
+    after.remove("shard2")
+    keys = [f"user{i}" for i in range(2000)]
+    for key in keys:
+        if before.lookup(key) == "shard2":
+            assert after.lookup(key) != "shard2"
+        else:
+            # Survivors' keys never move on a remove.
+            assert after.lookup(key) == before.lookup(key)
+
+
+def test_readd_movement_is_bounded_by_2_over_n():
+    """Both halves of the self-healing cycle respect the movement
+    bound: the keys migrated away on remove and the keys migrated
+    back on re-add are the same ≤2/N slice."""
+    keys = [f"user{i}" for i in range(4000)]
+    for n in (4, 8):
+        ring = HashRing([f"shard{i}" for i in range(n)])
+        before = ring.assignments(keys)
+        ring.remove("shard1")
+        moved_away = {key for key in keys
+                      if ring.lookup(key) != before[key]}
+        assert len(moved_away) / len(keys) <= 2.0 / n
+        ring.add("shard1")
+        moved_back = {key for key in keys
+                      if ring.assignments([key])[key] != before[key]}
+        assert moved_back == set()
+        assert moved_away == {key for key in keys
+                              if before[key] == "shard1"}

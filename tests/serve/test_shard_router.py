@@ -36,6 +36,7 @@ class FakeShard:
         self.port = self.listener.getsockname()[1]
         self.store = {}
         self.respond = respond or self.honest
+        self.conn = None
         self._stop = False
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._thread.start()
@@ -56,12 +57,21 @@ class FakeShard:
         return protocol.ERROR
 
     def _run(self):
-        self.listener.settimeout(10.0)
-        try:
-            conn, _addr = self.listener.accept()
-        except OSError:
-            return
-        conn.settimeout(10.0)
+        # Loop-accept: a router reconnect (or replay stream) after a
+        # dropped link gets a fresh session against the same store.
+        self.listener.settimeout(0.2)
+        while not self._stop:
+            try:
+                conn, _addr = self.listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self._serve(conn)
+
+    def _serve(self, conn):
+        self.conn = conn
+        conn.settimeout(0.2)
         framer = RequestFramer()
         try:
             while not self._stop:
@@ -78,9 +88,26 @@ class FakeShard:
                 for raw in frames:
                     response = self.respond(protocol.parse_request(raw))
                     if response is not None:
-                        conn.sendall(response.encode("latin-1"))
+                        try:
+                            conn.sendall(response.encode("latin-1"))
+                        except OSError:
+                            return
         finally:
             conn.close()
+
+    def drop(self):
+        """Reset the live connection (the listener keeps accepting):
+        a link failure without endpoint death."""
+        conn = self.conn
+        if conn is not None:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
 
     def close(self):
         self._stop = True

@@ -295,11 +295,12 @@ def test_run_watchdog_steps_flag(fig7_file, capsys):
 
 def test_exit_code_table_is_complete_and_consistent():
     """``exit_code_table()`` is the single source of truth: one row
-    per code 0-8, and the fault rows agree with ``fault_exit_code``."""
+    per code 0-9, and the fault rows agree with ``fault_exit_code``."""
     from repro.errors import (
         DeadlockFault,
         EnclaveCrash,
         IagoFault,
+        NetworkFault,
         SGXAccessViolation,
         WatchdogTimeout,
         exit_code_table,
@@ -307,10 +308,10 @@ def test_exit_code_table_is_complete_and_consistent():
     )
 
     table = exit_code_table()
-    assert [code for code, _, _ in table] == list(range(9))
+    assert [code for code, _, _ in table] == list(range(10))
     by_name = {name: code for code, name, _ in table}
     for cls in (DeadlockFault, IagoFault, EnclaveCrash,
-                WatchdogTimeout, SGXAccessViolation):
+                WatchdogTimeout, SGXAccessViolation, NetworkFault):
         assert by_name[cls.__name__] == fault_exit_code(cls("x"))
     assert by_name["success"] == 0
     assert by_name["PrivagicError"] == 1
