@@ -1,0 +1,28 @@
+// The MiniC half of the cross-language example: enclave logic over a
+// colored balance, driven by the MiniPy workload script in
+// vault_workload.mpy (see examples/cross_language.py).
+//
+// Both files lower into ONE IR module through the secure-value
+// contract, so the MiniPy call sites resolve these functions
+// directly — with normal argument coercion between MiniPy's 64-bit
+// ints and MiniC's declared types.
+
+long color(vault) balance = 1000;
+long audit_log = 0;
+
+ignore long audit(long v) {
+    // Declassification: only the last two digits leave the enclave.
+    return v % 100;
+}
+
+long deposit(long amount) {
+    balance = balance + amount;
+    audit_log = audit_log + 1;
+    return audit(balance);
+}
+
+int fee_schedule(int tier) {
+    // An int-typed helper: MiniPy arguments truncate to i32 on the
+    // way in and the result sign-extends back to i64 at use sites.
+    return tier * 3 + 1;
+}

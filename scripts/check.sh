@@ -75,6 +75,32 @@ else
 fi
 echo "chaos smoke: typed-fault/identical contract OK"
 
+# Frontend smoke: the MiniPy frontend through the same CLI —
+# extension auto-detection must agree with an explicit --frontend,
+# and the secure(...)-annotated counter must partition and run.
+MINIPY_AUTO=$(python -m repro run examples/secure_counter.mpy \
+    --mode hardened)
+MINIPY_NAMED=$(python -m repro run examples/secure_counter.mpy \
+    --mode hardened --frontend minipy)
+if [ "$MINIPY_AUTO" != "$MINIPY_NAMED" ]; then
+    echo "frontend smoke: auto-detect and --frontend disagree" >&2
+    exit 1
+fi
+echo "$MINIPY_AUTO" | grep -q "main() = 5"
+echo "frontend smoke: minipy OK (auto-detect == --frontend minipy)"
+
+# Cross-language smoke: the MiniPy workload script driving MiniC
+# enclave logic through one shared module (repro.secval.compile_cross)
+# must partition with zero confinement violations and agree on every
+# engine (the script asserts all of that).
+python examples/cross_language.py > /dev/null
+echo "frontend smoke: cross-language vault OK"
+
+# Chaos smoke, MiniPy arm: the same identical-or-typed contract must
+# hold for a MiniPy-lowered partition.
+python -m repro.faults.differential examples/secure_counter.mpy \
+    --seeds 16 --base-seed 1234 --mode hardened
+
 # Optimizer smoke: the kl placement policy on Fig 7 must preserve the
 # program's observable behavior exactly (result + stdout) while the
 # partition report shows it actually elided messages.

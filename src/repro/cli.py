@@ -29,7 +29,6 @@ from typing import List, Optional
 from repro.core.colors import HARDENED, RELAXED
 from repro.core.compiler import PrivagicCompiler
 from repro.errors import PrivagicError
-from repro.frontend import compile_source
 from repro.ir.interp import ENGINES
 from repro.ir.printer import print_module
 from repro.pipeline import ANALYZE_PIPELINE, PassManager
@@ -41,10 +40,14 @@ def _read(path: str) -> str:
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("file", help="MiniC source file")
+    parser.add_argument("file", help="source file (MiniC or MiniPy)")
     parser.add_argument("--mode", choices=[HARDENED, RELAXED],
                         default=HARDENED,
                         help="analysis mode (default: hardened)")
+    parser.add_argument("--frontend", metavar="LANG", default=None,
+                        help="source language: minic or minipy "
+                             "(default: by file extension; .c/.mc/"
+                             ".minic is MiniC, .mpy/.minipy is MiniPy)")
     parser.add_argument("--passes", metavar="PIPELINE", default=None,
                         help="comma-separated pass pipeline (default: "
                              "the full Figure-5 pipeline)")
@@ -267,6 +270,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _frontend_for(options):
+    """The registered frontend the options select: an explicit
+    --frontend name wins (unknown names get a did-you-mean error),
+    otherwise the file extension decides."""
+    from repro.secval import resolve_frontend
+    return resolve_frontend(options.frontend, options.file)
+
+
 def _profile_for(options) -> Optional[dict]:
     if getattr(options, "profile_in", None) is None:
         return None
@@ -297,8 +308,8 @@ def _print_partition_stats(ctx, program) -> None:
 
 
 def cmd_analyze(options) -> int:
-    module = compile_source(_read(options.file),
-                            os.path.basename(options.file))
+    module = _frontend_for(options).compile_source(
+        _read(options.file), os.path.basename(options.file))
     manager = PassManager(options.passes or ANALYZE_PIPELINE,
                           time_passes=options.time_passes,
                           print_after_each=options.print_after_each)
@@ -337,7 +348,8 @@ def cmd_analyze(options) -> int:
 def cmd_compile(options) -> int:
     compiler = _compiler_for(options)
     program = compiler.compile_source(_read(options.file),
-                                      os.path.basename(options.file))
+                                      os.path.basename(options.file),
+                                      frontend=_frontend_for(options).name)
     if program is not None:
         for color in program.colors:
             module = program.modules[color]
@@ -385,7 +397,8 @@ def cmd_run(options) -> int:
         metrics, tracer = obs.registry, obs.tracer
     compiler = _compiler_for(options, metrics=metrics, tracer=tracer)
     program = compiler.compile_source(_read(options.file),
-                                      os.path.basename(options.file))
+                                      os.path.basename(options.file),
+                                      frontend=_frontend_for(options).name)
     if program is None:
         raise PrivagicError(
             "the pass pipeline did not produce a partitioned program "

@@ -99,11 +99,19 @@ class PrivagicCompiler:
         return self.context.program
 
     def compile_source(self, source: str, module_name: str = "app",
-                       entries: Optional[Sequence[str]] = None
+                       entries: Optional[Sequence[str]] = None,
+                       frontend: Optional[str] = None
                        ) -> Optional[PartitionedProgram]:
-        """Compile MiniC source end to end."""
-        from repro.frontend import compile_source as frontend_compile
-        module = frontend_compile(source, module_name)
+        """Compile source end to end.  ``frontend`` names a registered
+        source language (default MiniC); see
+        :func:`repro.secval.frontend_by_name`."""
+        if frontend is None or frontend == "minic":
+            from repro.frontend import compile_source as frontend_compile
+            module = frontend_compile(source, module_name)
+        else:
+            from repro.secval import frontend_by_name
+            module = frontend_by_name(frontend).compile_source(
+                source, module_name)
         return self.compile_module(module, entries=entries)
 
 
@@ -111,9 +119,11 @@ def compile_and_partition(source: str, mode: str = HARDENED,
                           entries: Optional[Sequence[str]] = None,
                           sync_barriers: bool = True,
                           passes=None, optimize: Optional[str] = None,
-                          profile: Optional[dict] = None
+                          profile: Optional[dict] = None,
+                          frontend: Optional[str] = None
                           ) -> PartitionedProgram:
     """One-call convenience used by examples and tests."""
     compiler = PrivagicCompiler(mode, sync_barriers, passes=passes,
                                 optimize=optimize, profile=profile)
-    return compiler.compile_source(source, entries=entries)
+    return compiler.compile_source(source, entries=entries,
+                                   frontend=frontend)

@@ -147,8 +147,9 @@ def summarize(records: Sequence[dict]) -> Dict[str, int]:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Standalone sweep over a MiniC source file (the check.sh chaos
-    smoke).  Exits 0 iff no run was silently wrong."""
+    """Standalone sweep over a source file in any registered frontend
+    (the check.sh chaos smoke).  Exits 0 iff no run was silently
+    wrong."""
     import argparse
 
     from repro.core.compiler import compile_and_partition
@@ -156,7 +157,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.faults.differential",
         description="chaos differential sweep over seeded fault plans")
-    parser.add_argument("source", help="MiniC source file")
+    parser.add_argument("source", help="source file (MiniC or MiniPy)")
+    parser.add_argument("--frontend", default=None, metavar="LANG",
+                        help="source language (default: by file "
+                             "extension)")
     parser.add_argument("--seeds", type=int, default=8,
                         help="number of seeded plans per engine")
     parser.add_argument("--base-seed", type=int, default=0)
@@ -173,8 +177,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     with open(options.source) as handle:
         source = handle.read()
+    from repro.secval import resolve_frontend
+    frontend = resolve_frontend(options.frontend, options.source)
     program = compile_and_partition(source, mode=options.mode,
-                                    optimize=options.optimize)
+                                    optimize=options.optimize,
+                                    frontend=frontend.name)
     seeds = range(options.base_seed,
                   options.base_seed + options.seeds)
     records = chaos_sweep(

@@ -35,6 +35,7 @@ from repro.ir import (
     VOID,
 )
 from repro.ir.types import FloatType, IntType
+from repro.secval.lowering import auto_declare_builtin
 
 _BASE_TYPES: Dict[str, IRType] = {
     "void": VOID,
@@ -43,31 +44,6 @@ _BASE_TYPES: Dict[str, IRType] = {
     "long": I64,
     "float": F32,
     "double": F64,
-}
-
-#: Functions auto-declared on first use (the mini-libc of the
-#: interpreter; see repro.ir.interp.DEFAULT_EXTERNALS).
-_BUILTIN_SIGNATURES: Dict[str, FunctionType] = {
-    "malloc": FunctionType(PointerType(I8), [I64]),
-    "__privagic_alloc": FunctionType(PointerType(I8),
-                                     [PointerType(I8), I64]),
-    "free": FunctionType(VOID, [PointerType(I8)]),
-    "memcpy": FunctionType(PointerType(I8),
-                           [PointerType(I8), PointerType(I8), I64]),
-    "memset": FunctionType(PointerType(I8), [PointerType(I8), I32, I64]),
-    "strncpy": FunctionType(PointerType(I8),
-                            [PointerType(I8), PointerType(I8), I64]),
-    "strlen": FunctionType(I64, [PointerType(I8)]),
-    "strcmp": FunctionType(I32, [PointerType(I8), PointerType(I8)]),
-    "printf": FunctionType(I32, [PointerType(I8)], vararg=True),
-    "puts": FunctionType(I32, [PointerType(I8)]),
-    "putchar": FunctionType(I32, [I32]),
-    "abort": FunctionType(VOID, []),
-    "thread_create": FunctionType(I64, [PointerType(I8), I64]),
-    "thread_join": FunctionType(VOID, [I64]),
-    "mutex_lock": FunctionType(I32, [I64]),
-    "mutex_unlock": FunctionType(I32, [I64]),
-    "hash64": FunctionType(I64, [I64]),
 }
 
 
@@ -100,8 +76,11 @@ class _Scope:
 class CodeGenerator:
     """Generates one IR module from one translation unit."""
 
-    def __init__(self, module_name: str = "minic"):
-        self.module = Module(module_name)
+    def __init__(self, module_name: str = "minic",
+                 module: Optional[Module] = None):
+        # Lower into ``module`` when given (cross-language composition
+        # via repro.secval.compile_cross), else into a fresh module.
+        self.module = module if module is not None else Module(module_name)
         self._string_counter = 0
         # per-function state
         self.builder: Optional[IRBuilder] = None
@@ -544,8 +523,13 @@ class CodeGenerator:
                             expr.line, expr.column)
 
     def _gen_string(self, text: str):
+        # Skip names an earlier unit already claimed (cross-language
+        # lowering shares one module across generators).
         name = f".str{self._string_counter}"
         self._string_counter += 1
+        while name in self.module.globals:
+            name = f".str{self._string_counter}"
+            self._string_counter += 1
         arr_type = ArrayType(I8, len(text) + 1)
         gv = self.module.add_global(
             GlobalVariable(name, arr_type, Constant(arr_type, text)))
@@ -751,16 +735,9 @@ class CodeGenerator:
         return self.builder.call(callee, coerced)
 
     def _auto_declare(self, name: str) -> Optional[Function]:
-        sig = _BUILTIN_SIGNATURES.get(name)
-        if sig is None:
-            return None
-        fn = Function(name, sig, attributes=["extern"])
-        if name in ("malloc", "__privagic_alloc", "free", "memcpy",
-                    "memset", "strncpy", "strlen", "strcmp", "hash64"):
-            # The mini-libc shipped inside every enclave (paper §6.3).
-            fn.attributes.add("within")
-        self.module.add_function(fn)
-        return fn
+        # The shared mini-libc of the secure-value contract: every
+        # frontend auto-declares the same signatures (paper §6.3).
+        return auto_declare_builtin(self.module, name)
 
     def _gen_cast(self, expr: ast.CastExpr):
         value = self._gen_rvalue(expr.operand)

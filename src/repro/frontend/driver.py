@@ -1,10 +1,20 @@
-"""MiniC compiler driver."""
+"""MiniC compiler driver — the MiniC instance of the secure-value
+lowering contract (:mod:`repro.secval.lowering`)."""
 
 from __future__ import annotations
 
 from repro.frontend.codegen import CodeGenerator
 from repro.frontend.parser import parse
 from repro.ir import Module
+from repro.secval.lowering import run_frontend_pipeline
+
+
+def lower_source(source: str, module: Module,
+                 filename: str = "<source>") -> None:
+    """Lower MiniC source text into an existing IR module (the
+    cross-language primitive of :func:`repro.secval.compile_cross`)."""
+    unit = parse(source, filename)
+    CodeGenerator(module.name, module=module).generate(unit)
 
 
 def compile_source(source: str, module_name: str = "minic",
@@ -14,14 +24,9 @@ def compile_source(source: str, module_name: str = "minic",
     This is the classical toolchain of paper Figure 5: it produces the
     "LLVM bitcode" Privagic takes as input, with secure-type colors
     carried as type annotations.  The generated module is run through
-    the frontend pass pipeline (structural verification by default;
-    ``passes`` overrides it, ``verify=False`` skips it).
+    the shared frontend pass pipeline (structural verification by
+    default; ``passes`` overrides it, ``verify=False`` skips it).
     """
-    unit = parse(source, module_name)
-    module = CodeGenerator(module_name).generate(unit)
-    from repro.pipeline import FRONTEND_PIPELINE, PassManager
-    pipeline = passes if passes is not None else (
-        FRONTEND_PIPELINE if verify else ())
-    if pipeline:
-        PassManager(pipeline).run(module)
-    return module
+    module = Module(module_name)
+    lower_source(source, module, filename=module_name)
+    return run_frontend_pipeline(module, verify=verify, passes=passes)

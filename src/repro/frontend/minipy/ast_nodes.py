@@ -1,0 +1,193 @@
+"""MiniPy abstract syntax tree.
+
+Same philosophy as the MiniC AST: plain records carrying source
+positions; no separate semantic-analysis pass — code generation checks
+as it lowers onto the secure-value contract.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class Node:
+    """Base AST node with source position."""
+
+    def __init__(self, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        attrs = {k: v for k, v in self.__dict__.items()
+                 if k not in ("line", "column")}
+        inner = ", ".join(f"{k}={v!r}" for k, v in attrs.items())
+        return f"{type(self).__name__}({inner})"
+
+
+# -- module level ----------------------------------------------------------------
+
+
+class Program(Node):
+    """One MiniPy source file: function definitions and globals."""
+
+    def __init__(self, body: List[Node], **pos):
+        super().__init__(**pos)
+        self.body = body
+
+
+class FunctionDef(Node):
+    """``@entry``-style decorators + ``def name(params):`` + suite.
+
+    Every parameter and the return value are 64-bit integers; the
+    decorators must come from the shared annotation vocabulary
+    (:data:`repro.secval.ANNOTATIONS`).
+    """
+
+    def __init__(self, name: str, params: List[str],
+                 decorators: List["Decorator"], body: List[Node], **pos):
+        super().__init__(**pos)
+        self.name = name
+        self.params = params
+        self.decorators = decorators
+        self.body = body
+
+
+class Decorator(Node):
+    def __init__(self, name: str, **pos):
+        super().__init__(**pos)
+        self.name = name
+
+
+class GlobalDef(Node):
+    """A module-level binding: ``name = secure("blue", init)``,
+    ``name = public(init)``, or a bare literal.  ``color`` is the
+    enclave color or None; ``init`` is an IntLiteral or StringLiteral.
+    """
+
+    def __init__(self, name: str, init: Node,
+                 color: Optional[str] = None, **pos):
+        super().__init__(**pos)
+        self.name = name
+        self.init = init
+        self.color = color
+
+
+# -- statements ------------------------------------------------------------------
+
+
+class Assign(Node):
+    """``target = value`` or augmented ``target op= value``."""
+
+    def __init__(self, target: str, value: Node,
+                 op: Optional[str] = None, **pos):
+        super().__init__(**pos)
+        self.target = target
+        self.value = value
+        self.op = op
+
+
+class ExprStmt(Node):
+    def __init__(self, expr: Node, **pos):
+        super().__init__(**pos)
+        self.expr = expr
+
+
+class If(Node):
+    """``if``/``elif``/``else``; an ``elif`` chain parses as a nested
+    If in ``orelse``."""
+
+    def __init__(self, cond: Node, body: List[Node],
+                 orelse: List[Node], **pos):
+        super().__init__(**pos)
+        self.cond = cond
+        self.body = body
+        self.orelse = orelse
+
+
+class While(Node):
+    def __init__(self, cond: Node, body: List[Node], **pos):
+        super().__init__(**pos)
+        self.cond = cond
+        self.body = body
+
+
+class Return(Node):
+    def __init__(self, value: Optional[Node], **pos):
+        super().__init__(**pos)
+        self.value = value
+
+
+class Break(Node):
+    pass
+
+
+class Continue(Node):
+    pass
+
+
+class Pass(Node):
+    pass
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+class IntLiteral(Node):
+    def __init__(self, value: int, **pos):
+        super().__init__(**pos)
+        self.value = value
+
+
+class StringLiteral(Node):
+    """A ``"..."`` or ``b"..."`` literal; lowers to an i8-array global
+    exactly like a MiniC string."""
+
+    def __init__(self, value: str, **pos):
+        super().__init__(**pos)
+        self.value = value
+
+
+class Name(Node):
+    def __init__(self, name: str, **pos):
+        super().__init__(**pos)
+        self.name = name
+
+
+class Call(Node):
+    def __init__(self, callee: str, args: List[Node], **pos):
+        super().__init__(**pos)
+        self.callee = callee
+        self.args = args
+
+
+class BinOp(Node):
+    def __init__(self, op: str, lhs: Node, rhs: Node, **pos):
+        super().__init__(**pos)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Compare(Node):
+    def __init__(self, op: str, lhs: Node, rhs: Node, **pos):
+        super().__init__(**pos)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class BoolOp(Node):
+    """Short-circuit ``and`` / ``or``."""
+
+    def __init__(self, op: str, lhs: Node, rhs: Node, **pos):
+        super().__init__(**pos)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class UnaryOp(Node):
+    def __init__(self, op: str, operand: Node, **pos):
+        super().__init__(**pos)
+        self.op = op
+        self.operand = operand

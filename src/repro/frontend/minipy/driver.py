@@ -1,0 +1,29 @@
+"""MiniPy compilation driver — the secure-value lowering contract.
+
+Implements the same two functions as the MiniC driver
+(:mod:`repro.frontend.driver`), so the frontend registry can treat
+both languages uniformly and ``compile_cross`` can lower mixed-language
+programs into one module.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.minipy.codegen import CodeGenerator
+from repro.frontend.minipy.parser import parse
+from repro.ir import Module
+from repro.secval.lowering import run_frontend_pipeline
+
+
+def lower_source(source: str, module: Module,
+                 filename: str = "<source>") -> None:
+    """Lower one MiniPy source text into an existing module."""
+    program = parse(source, filename)
+    CodeGenerator(module.name, module=module).generate(program)
+
+
+def compile_source(source: str, module_name: str = "minipy",
+                   verify: bool = True, passes=None) -> Module:
+    """Compile MiniPy source text into a verified IR module."""
+    module = Module(module_name)
+    lower_source(source, module, filename=module_name)
+    return run_frontend_pipeline(module, verify=verify, passes=passes)

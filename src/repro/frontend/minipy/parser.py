@@ -1,0 +1,347 @@
+"""MiniPy recursive-descent parser.
+
+Grammar sketch (indentation-structured, Python-flavored):
+
+    program     := (funcdef | globaldef | NEWLINE)* EOF
+    funcdef     := ("@" IDENT NEWLINE)* "def" IDENT "(" params ")" ":" suite
+    globaldef   := IDENT "=" ("secure" "(" STRING "," literal ")"
+                              | "public" "(" literal ")"
+                              | literal) NEWLINE
+    suite       := NEWLINE INDENT statement+ DEDENT
+    statement   := simple NEWLINE | ifstmt | whilestmt
+    simple      := "return" [expr] | "pass" | "break" | "continue"
+                 | IDENT augop expr | IDENT "=" expr | expr
+    ifstmt      := "if" expr ":" suite
+                   ("elif" expr ":" suite)* ["else" ":" suite]
+    whilestmt   := "while" expr ":" suite
+    expr        := or_expr
+    or_expr     := and_expr ("or" and_expr)*
+    and_expr    := not_expr ("and" not_expr)*
+    not_expr    := "not" not_expr | comparison
+    comparison  := bitor [("=="|"!="|"<"|"<="|">"|">=") bitor]
+    bitor       := bitxor ("|" bitxor)*        (then ^, &, shifts,
+    addsub      := muldiv (("+"|"-") muldiv)*   +/-, * // %, unary -/~)
+    atom        := INT | STRING | "True" | "False" | IDENT ["(" args ")"]
+                 | "(" expr ")"
+
+Chained comparisons (``a < b < c``) are rejected with a typed error
+rather than silently misparsed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import FrontendError
+from repro.frontend.minipy import ast_nodes as ast
+from repro.frontend.minipy.lexer import Token, tokenize
+
+_AUG_OPS = ("+=", "-=", "*=", "//=", "%=", "&=", "|=", "^=",
+            "<<=", ">>=")
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class Parser:
+    def __init__(self, tokens: List[Token], filename: str = "<source>"):
+        self.tokens = tokens
+        self.filename = filename
+        self.pos = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def _error(self, message: str,
+               token: Optional[Token] = None) -> FrontendError:
+        token = token or self.current
+        return FrontendError(message, token.line, token.column)
+
+    def _expect_op(self, op: str) -> Token:
+        if not self.current.is_op(op):
+            raise self._error(f"expected {op!r}, got "
+                              f"{self.current.text or self.current.kind!r}")
+        return self._advance()
+
+    def _expect_kw(self, kw: str) -> Token:
+        if not self.current.is_kw(kw):
+            raise self._error(f"expected {kw!r}, got "
+                              f"{self.current.text or self.current.kind!r}")
+        return self._advance()
+
+    def _expect(self, kind: str) -> Token:
+        if self.current.kind != kind:
+            raise self._error(f"expected {kind}, got "
+                              f"{self.current.text or self.current.kind!r}")
+        return self._advance()
+
+    def _pos(self, token: Token) -> dict:
+        return {"line": token.line, "column": token.column}
+
+    # -- program ---------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        body: List[ast.Node] = []
+        while self.current.kind != "eof":
+            if self.current.kind == "newline":
+                self._advance()
+                continue
+            if self.current.is_op("@") or self.current.is_kw("def"):
+                body.append(self._parse_funcdef())
+            elif self.current.kind == "ident":
+                body.append(self._parse_globaldef())
+            else:
+                raise self._error(
+                    f"expected a function definition or a module-level "
+                    f"assignment, got {self.current.text!r}")
+        return ast.Program(body)
+
+    def _parse_funcdef(self) -> ast.FunctionDef:
+        decorators: List[ast.Decorator] = []
+        while self.current.is_op("@"):
+            at = self._advance()
+            name = self._expect("ident")
+            decorators.append(ast.Decorator(name.text, **self._pos(at)))
+            self._expect("newline")
+        start = self._expect_kw("def")
+        name = self._expect("ident")
+        self._expect_op("(")
+        params: List[str] = []
+        while not self.current.is_op(")"):
+            params.append(self._expect("ident").text)
+            if not self.current.is_op(","):
+                break
+            self._advance()
+        self._expect_op(")")
+        self._expect_op(":")
+        body = self._parse_suite()
+        return ast.FunctionDef(name.text, params, decorators, body,
+                               **self._pos(start))
+
+    def _parse_globaldef(self) -> ast.GlobalDef:
+        name = self._expect("ident")
+        self._expect_op("=")
+        color: Optional[str] = None
+        if self.current.kind == "ident" and \
+                self.current.text in ("secure", "public"):
+            which = self._advance()
+            self._expect_op("(")
+            if which.text == "secure":
+                color_token = self._expect("string")
+                color = color_token.value
+                self._expect_op(",")
+            init = self._parse_literal()
+            self._expect_op(")")
+        else:
+            init = self._parse_literal()
+        self._expect("newline")
+        return ast.GlobalDef(name.text, init, color, **self._pos(name))
+
+    def _parse_literal(self) -> ast.Node:
+        token = self.current
+        if token.kind == "int":
+            self._advance()
+            return ast.IntLiteral(token.value, **self._pos(token))
+        if token.kind == "string":
+            self._advance()
+            return ast.StringLiteral(token.value, **self._pos(token))
+        if token.is_kw("True", "False"):
+            self._advance()
+            return ast.IntLiteral(token.value, **self._pos(token))
+        if token.is_op("-"):
+            self._advance()
+            inner = self._expect("int")
+            return ast.IntLiteral(-inner.value, **self._pos(token))
+        raise self._error("a module-level value must be an int or "
+                          "string literal")
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_suite(self) -> List[ast.Node]:
+        self._expect("newline")
+        self._expect("indent")
+        statements: List[ast.Node] = []
+        while self.current.kind not in ("dedent", "eof"):
+            statements.append(self._parse_statement())
+        self._expect("dedent")
+        return statements
+
+    def _parse_statement(self) -> ast.Node:
+        token = self.current
+        if token.is_kw("if"):
+            return self._parse_if()
+        if token.is_kw("while"):
+            return self._parse_while()
+        stmt = self._parse_simple()
+        self._expect("newline")
+        return stmt
+
+    def _parse_if(self) -> ast.If:
+        start = self._advance()  # "if" or "elif"
+        cond = self.parse_expr()
+        self._expect_op(":")
+        body = self._parse_suite()
+        orelse: List[ast.Node] = []
+        if self.current.is_kw("elif"):
+            orelse = [self._parse_if()]
+        elif self.current.is_kw("else"):
+            self._advance()
+            self._expect_op(":")
+            orelse = self._parse_suite()
+        return ast.If(cond, body, orelse, **self._pos(start))
+
+    def _parse_while(self) -> ast.While:
+        start = self._expect_kw("while")
+        cond = self.parse_expr()
+        self._expect_op(":")
+        body = self._parse_suite()
+        return ast.While(cond, body, **self._pos(start))
+
+    def _parse_simple(self) -> ast.Node:
+        token = self.current
+        if token.is_kw("return"):
+            self._advance()
+            value = None
+            if self.current.kind != "newline":
+                value = self.parse_expr()
+            return ast.Return(value, **self._pos(token))
+        if token.is_kw("pass"):
+            self._advance()
+            return ast.Pass(**self._pos(token))
+        if token.is_kw("break"):
+            self._advance()
+            return ast.Break(**self._pos(token))
+        if token.is_kw("continue"):
+            self._advance()
+            return ast.Continue(**self._pos(token))
+        if token.kind == "ident" and self.pos + 1 < len(self.tokens):
+            nxt = self.tokens[self.pos + 1]
+            if nxt.is_op("="):
+                self._advance()
+                self._advance()
+                value = self.parse_expr()
+                return ast.Assign(token.text, value, **self._pos(token))
+            if nxt.is_op(*_AUG_OPS):
+                self._advance()
+                op_token = self._advance()
+                value = self.parse_expr()
+                return ast.Assign(token.text, value,
+                                  op=op_token.text[:-1],
+                                  **self._pos(token))
+        expr = self.parse_expr()
+        return ast.ExprStmt(expr, **self._pos(token))
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Node:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Node:
+        node = self._parse_and()
+        while self.current.is_kw("or"):
+            op = self._advance()
+            node = ast.BoolOp("or", node, self._parse_and(),
+                              **self._pos(op))
+        return node
+
+    def _parse_and(self) -> ast.Node:
+        node = self._parse_not()
+        while self.current.is_kw("and"):
+            op = self._advance()
+            node = ast.BoolOp("and", node, self._parse_not(),
+                              **self._pos(op))
+        return node
+
+    def _parse_not(self) -> ast.Node:
+        if self.current.is_kw("not"):
+            op = self._advance()
+            return ast.UnaryOp("not", self._parse_not(), **self._pos(op))
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Node:
+        node = self._parse_bitor()
+        if self.current.is_op(*_CMP_OPS):
+            op = self._advance()
+            node = ast.Compare(op.text, node, self._parse_bitor(),
+                               **self._pos(op))
+            if self.current.is_op(*_CMP_OPS):
+                raise self._error("chained comparisons are not "
+                                  "supported; parenthesize")
+        return node
+
+    def _binary_level(self, ops, next_level):
+        node = next_level()
+        while self.current.is_op(*ops):
+            op = self._advance()
+            node = ast.BinOp(op.text, node, next_level(),
+                             **self._pos(op))
+        return node
+
+    def _parse_bitor(self) -> ast.Node:
+        return self._binary_level(("|",), self._parse_bitxor)
+
+    def _parse_bitxor(self) -> ast.Node:
+        return self._binary_level(("^",), self._parse_bitand)
+
+    def _parse_bitand(self) -> ast.Node:
+        return self._binary_level(("&",), self._parse_shift)
+
+    def _parse_shift(self) -> ast.Node:
+        return self._binary_level(("<<", ">>"), self._parse_addsub)
+
+    def _parse_addsub(self) -> ast.Node:
+        return self._binary_level(("+", "-"), self._parse_muldiv)
+
+    def _parse_muldiv(self) -> ast.Node:
+        return self._binary_level(("*", "//", "%"), self._parse_unary)
+
+    def _parse_unary(self) -> ast.Node:
+        token = self.current
+        if token.is_op("-", "~"):
+            self._advance()
+            return ast.UnaryOp(token.text, self._parse_unary(),
+                               **self._pos(token))
+        return self._parse_atom()
+
+    def _parse_atom(self) -> ast.Node:
+        token = self.current
+        if token.kind == "int":
+            self._advance()
+            return ast.IntLiteral(token.value, **self._pos(token))
+        if token.kind == "string":
+            self._advance()
+            return ast.StringLiteral(token.value, **self._pos(token))
+        if token.is_kw("True", "False"):
+            self._advance()
+            return ast.IntLiteral(token.value, **self._pos(token))
+        if token.kind == "ident":
+            self._advance()
+            if self.current.is_op("("):
+                self._advance()
+                args: List[ast.Node] = []
+                while not self.current.is_op(")"):
+                    args.append(self.parse_expr())
+                    if not self.current.is_op(","):
+                        break
+                    self._advance()
+                self._expect_op(")")
+                return ast.Call(token.text, args, **self._pos(token))
+            return ast.Name(token.text, **self._pos(token))
+        if token.is_op("("):
+            self._advance()
+            node = self.parse_expr()
+            self._expect_op(")")
+            return node
+        raise self._error(
+            f"unexpected {token.text or token.kind!r} in expression")
+
+
+def parse(source: str, filename: str = "<source>") -> ast.Program:
+    return Parser(tokenize(source, filename), filename).parse_program()

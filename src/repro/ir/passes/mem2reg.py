@@ -77,13 +77,20 @@ def _promote_function(fn: Function, cache=None) -> int:
     dt = cache.dominators(fn)
     frontier = cache.frontier(fn)
 
+    # Sets of blocks hash by identity, so their iteration order varies
+    # from process to process; every order-sensitive step below sorts
+    # by layout position to keep SSA names and phi operand order
+    # byte-stable across runs.
+    layout = {block: i for i, block in enumerate(fn.blocks)}
+
     for alloca in allocas:
-        _promote_one(fn, alloca, dt, frontier, reachable)
+        _promote_one(fn, alloca, dt, frontier, reachable, layout)
     return len(allocas)
 
 
 def _promote_one(fn: Function, alloca: Alloca, dt: DominatorTree,
-                 frontier, reachable: Set[BasicBlock]) -> None:
+                 frontier, reachable: Set[BasicBlock],
+                 layout: Dict[BasicBlock, int]) -> None:
     loads = [u for u in alloca.users if isinstance(u, Load)]
     stores = [u for u in alloca.users if isinstance(u, Store)]
 
@@ -91,10 +98,11 @@ def _promote_one(fn: Function, alloca: Alloca, dt: DominatorTree,
     # every block containing a store.
     defining_blocks = {s.parent for s in stores if s.parent in reachable}
     phi_blocks: Dict[BasicBlock, Phi] = {}
-    work = list(defining_blocks)
+    work = sorted(defining_blocks, key=layout.__getitem__)
     while work:
         block = work.pop()
-        for df_block in frontier.get(block, ()):
+        for df_block in sorted(frontier.get(block, ()),
+                               key=layout.__getitem__):
             if df_block in phi_blocks:
                 continue
             phi = Phi(alloca.allocated_type,
@@ -111,7 +119,7 @@ def _promote_one(fn: Function, alloca: Alloca, dt: DominatorTree,
     erase_list: List[Instruction] = []
 
     children: Dict[Optional[BasicBlock], List[BasicBlock]] = {}
-    for block in reachable:
+    for block in sorted(reachable, key=layout.__getitem__):
         children.setdefault(dt.immediate(block), []).append(block)
 
     def rename(block: BasicBlock, incoming: Value) -> None:

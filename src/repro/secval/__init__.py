@@ -1,0 +1,85 @@
+"""repro.secval — the frontend-neutral secure-value layer.
+
+This package is the single contract between source languages and the
+Privagic toolchain (ROADMAP item 4; the SecV design in PAPERS.md).
+It has four parts:
+
+* :mod:`repro.secval.model` — the color lattice (F/U/S, hardened vs
+  relaxed, compatibility and join) every secure type reduces to;
+* :mod:`repro.secval.lowering` — the shared lowering API: annotation
+  vocabulary, mini-libc builtin ABI, the frontend pass pipeline, and
+  the declassification/effect fact extractors;
+* :mod:`repro.secval.registry` — named frontends (``minic``,
+  ``minipy``), extension auto-detection, and cross-language
+  composition via :func:`~repro.secval.registry.compile_cross`;
+* :mod:`repro.secval.audit` — post-partition audits (the colored
+  access census and the enclave-confinement check) stated once,
+  frontend-free.
+
+The typed-error surface of the contract is shared too: frontends
+raise :class:`repro.errors.FrontendError` with ``line:column``
+positions, and type violations surface as
+:class:`repro.errors.SecureTypeError` carrying the rule name, the
+offending instruction and its ``(source line L:C)`` — regardless of
+which language the line was written in.
+"""
+
+from repro.errors import FrontendError, SecureTypeError
+from repro.secval.model import (
+    F,
+    HARDENED,
+    RELAXED,
+    S,
+    U,
+    compatible,
+    is_free,
+    is_named,
+    is_untrusted,
+    join,
+    named_colors,
+    untrusted_color,
+    validate_color_name,
+)
+from repro.secval.lowering import (
+    ANNOTATIONS,
+    BUILTIN_SIGNATURES,
+    WITHIN_BUILTINS,
+    auto_declare_builtin,
+    declassifiers,
+    effect_facts,
+    run_frontend_pipeline,
+    secure_globals,
+    validate_annotation,
+)
+from repro.secval.registry import (
+    DEFAULT_FRONTEND,
+    FRONTENDS,
+    Frontend,
+    compile_cross,
+    detect_frontend,
+    frontend_by_name,
+    frontend_names,
+    register_frontend,
+    resolve_frontend,
+)
+from repro.secval.audit import colored_accesses, confinement_violations
+
+__all__ = [
+    # model
+    "F", "U", "S", "HARDENED", "RELAXED",
+    "is_free", "is_named", "is_untrusted", "untrusted_color",
+    "compatible", "join", "validate_color_name", "named_colors",
+    # lowering contract
+    "ANNOTATIONS", "BUILTIN_SIGNATURES", "WITHIN_BUILTINS",
+    "auto_declare_builtin", "validate_annotation",
+    "run_frontend_pipeline", "declassifiers", "secure_globals",
+    "effect_facts",
+    # registry
+    "Frontend", "FRONTENDS", "DEFAULT_FRONTEND",
+    "register_frontend", "frontend_names", "frontend_by_name",
+    "detect_frontend", "resolve_frontend", "compile_cross",
+    # audit
+    "colored_accesses", "confinement_violations",
+    # typed-error surface
+    "FrontendError", "SecureTypeError",
+]

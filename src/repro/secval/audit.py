@@ -1,0 +1,60 @@
+"""Post-partition secure-value audits, frontend-neutral.
+
+The paper's central property — secret-typed code is confined to its
+enclave — is a fact about the *partitioned program*, not about any
+source language.  These helpers let tests state it once and apply it
+to programs lowered from MiniC, MiniPy, or a cross-language mix (the
+colored-access census the placement tests pioneered, promoted to the
+contract surface).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.instructions import Load, Store
+from repro.ir.values import GlobalVariable
+from repro.secval.model import is_named
+
+
+def colored_accesses(program) -> List[Tuple[str, str, str]]:
+    """Census of every load/store of a named-colored global across the
+    partition: ``(module_color, "Load"|"Store", global_name)`` rows,
+    sorted.  Byte-stable across runs, so two partitions of equivalent
+    programs can be compared directly."""
+    from repro.core.analysis import location_color
+
+    accesses = []
+    for color, module in sorted(program.modules.items()):
+        for fn in module.defined_functions():
+            for instr in fn.instructions():
+                if not isinstance(instr, (Load, Store)):
+                    continue
+                pointer = instr.ptr
+                if not isinstance(pointer, GlobalVariable):
+                    continue
+                home = location_color(pointer.value_type, program.mode)
+                if is_named(home):
+                    accesses.append((color, type(instr).__name__,
+                                     pointer.name))
+    return sorted(accesses)
+
+
+def confinement_violations(program) -> List[Tuple[str, str, str]]:
+    """Colored-global accesses that escaped their enclave: every
+    census row whose hosting module color differs from the global's
+    declared color.  An empty list is the paper's confinement
+    guarantee; any row is a partitioner bug."""
+    from repro.core.analysis import location_color
+
+    violations = []
+    for color, kind, name in colored_accesses(program):
+        home = None
+        for module in program.modules.values():
+            gv = module.globals.get(name)
+            if gv is not None:
+                home = location_color(gv.value_type, program.mode)
+                break
+        if home != color:
+            violations.append((color, kind, name))
+    return violations

@@ -1,0 +1,136 @@
+"""Cross-language composition and MiniC/MiniPy equivalence.
+
+The contract's promise: a semantically equivalent program produces
+the same partitioned behavior no matter which frontend (or mix of
+frontends) lowered it — identical results, identical stdout and
+identical message counts on every engine.
+"""
+
+import pytest
+
+from repro.core.compiler import PrivagicCompiler, compile_and_partition
+from repro.errors import FrontendError
+from repro.ir.interp import ENGINES
+from repro.runtime.executor import run_partitioned
+from repro.secval import (
+    colored_accesses,
+    compile_cross,
+    confinement_violations,
+)
+
+# A semantically equivalent pair: a blue secret accumulated in a
+# loop, declassified modulo 100, published through an uncolored
+# global.
+MINIC_SOURCE = """\
+long color(blue) secret = 41;
+long out = 0;
+
+ignore long declass(long v) { return v; }
+
+entry long main() {
+    long i = 0;
+    long total = 0;
+    while (i < 5) {
+        total = total + secret;
+        i = i + 1;
+    }
+    out = declass(total % 100);
+    return out;
+}
+"""
+
+MINIPY_SOURCE = """\
+secret = secure("blue", 41)
+out = public(0)
+
+@ignore
+def declass(v):
+    return v
+
+@entry
+def main():
+    i = 0
+    total = 0
+    while i < 5:
+        total = total + secret
+        i += 1
+    out = declass(total % 100)
+    return out
+"""
+
+
+@pytest.mark.parametrize("mode", ["hardened", "relaxed"])
+def test_equivalent_minic_and_minipy_behave_identically(mode):
+    c_prog = compile_and_partition(MINIC_SOURCE, mode=mode)
+    py_prog = compile_and_partition(MINIPY_SOURCE, mode=mode,
+                                    frontend="minipy")
+    assert sorted(c_prog.modules) == sorted(py_prog.modules)
+    for engine in ENGINES:
+        c_result, c_rt = run_partitioned(c_prog, "main", engine=engine)
+        py_result, py_rt = run_partitioned(py_prog, "main",
+                                           engine=engine)
+        assert c_result == py_result == 5
+        assert c_rt.machine.stdout == py_rt.machine.stdout
+        assert c_rt.stats.messages == py_rt.stats.messages, engine
+
+
+@pytest.mark.parametrize("mode", ["hardened", "relaxed"])
+def test_minipy_secret_code_is_confined_to_its_enclave(mode):
+    program = compile_and_partition(MINIPY_SOURCE, mode=mode,
+                                    frontend="minipy")
+    census = colored_accesses(program)
+    assert census, "no colored access found — census is vacuous"
+    assert all(color == "blue" for color, _, _ in census)
+    assert confinement_violations(program) == []
+
+
+def test_cross_language_minipy_drives_minic():
+    minic = """\
+        long color(vault) balance = 1000;
+        ignore long audit(long v) { return v % 100; }
+        long deposit(long amount) {
+            balance = balance + amount;
+            return audit(balance);
+        }
+        int fee_schedule(int tier) { return tier * 3 + 1; }
+    """
+    minipy = """\
+@entry
+def main():
+    day = 0
+    last = 0
+    while day < 3:
+        last = deposit(100 + fee_schedule(day))
+        day += 1
+    return last
+"""
+    module = compile_cross([("minic", minic, "vault.c"),
+                            ("minipy", minipy, "workload.mpy")],
+                           module_name="vault")
+    program = PrivagicCompiler(mode="relaxed").compile_module(module)
+    assert confinement_violations(program) == []
+    results = set()
+    for engine in ENGINES:
+        result, _ = run_partitioned(program, "main", engine=engine)
+        results.add(result)
+    # 1000 + 101 + 104 + 107 = 1312; audit keeps the last two digits.
+    assert results == {12}
+
+
+def test_cross_language_string_names_do_not_collide():
+    module = compile_cross([
+        ("minic", 'long f() { return (long) strlen("abc"); }', "a.c"),
+        ("minipy", '@entry\ndef main():\n    return f() + '
+                   'strlen("defg")\n', "b.mpy"),
+    ])
+    program = PrivagicCompiler(mode="relaxed").compile_module(module)
+    result, _ = run_partitioned(program, "main")
+    assert result == 7
+    names = {n for n in program.modules[program.untrusted].globals
+             if n.startswith(".str")}
+    assert len(names) == 2
+
+
+def test_compile_cross_rejects_an_empty_unit_list():
+    with pytest.raises(FrontendError, match="at least one unit"):
+        compile_cross([])

@@ -1,0 +1,49 @@
+"""Byte-identity gate for the secure-value refactor.
+
+The MiniC driver now lowers through :mod:`repro.secval`; these golden
+digests pin the exact partitioned-IR bytes for the two reference
+workloads, so any refactor of the contract layer (or any
+nondeterminism creeping back into the pipeline — see the mem2reg
+layout-ordering fix) shows up as a digest change here.
+"""
+
+import hashlib
+import os
+
+from repro.apps.minicache.minic_source import ANNOTATED_SOURCE
+from repro.core.compiler import compile_and_partition
+from repro.ir.printer import print_module
+
+FIG7_PATH = os.path.join(os.path.dirname(__file__), "..", "..",
+                         "examples", "fig7.c")
+
+FIG7_RELAXED_DIGEST = \
+    "324f3c0567ecaffb9dafc7e28c4c114d120c80a2159746a73ed2175db269709d"
+MINICACHE_HARDENED_DIGEST = \
+    "933a47697ff5af0bab1247936091e03c79fbe92d07a16de57d67d458b8de15fc"
+
+
+def partition_digest(program) -> str:
+    text = "\n".join(f"== {color} ==\n"
+                     + print_module(program.modules[color])
+                     for color in sorted(program.modules))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def test_fig7_relaxed_partition_is_byte_identical():
+    with open(FIG7_PATH) as handle:
+        program = compile_and_partition(handle.read(), mode="relaxed")
+    assert partition_digest(program) == FIG7_RELAXED_DIGEST
+
+
+def test_minicache_hardened_partition_is_byte_identical():
+    program = compile_and_partition(ANNOTATED_SOURCE, mode="hardened")
+    assert partition_digest(program) == MINICACHE_HARDENED_DIGEST
+
+
+def test_partition_is_deterministic_within_a_process():
+    # Two fresh compilations must agree byte for byte (the phi naming
+    # of mem2reg is ordered by block layout, not by set iteration).
+    first = compile_and_partition(ANNOTATED_SOURCE, mode="hardened")
+    second = compile_and_partition(ANNOTATED_SOURCE, mode="hardened")
+    assert partition_digest(first) == partition_digest(second)

@@ -1,0 +1,134 @@
+"""The frontend registry and the shared lowering contract surface."""
+
+import pytest
+
+from repro.errors import FrontendError
+from repro.secval import (
+    ANNOTATIONS,
+    BUILTIN_SIGNATURES,
+    WITHIN_BUILTINS,
+    Frontend,
+    FRONTENDS,
+    auto_declare_builtin,
+    declassifiers,
+    detect_frontend,
+    effect_facts,
+    frontend_by_name,
+    frontend_names,
+    register_frontend,
+    resolve_frontend,
+    secure_globals,
+    validate_annotation,
+)
+from repro.ir import Module
+
+
+# -- names and did-you-mean ----------------------------------------------------
+
+
+def test_both_builtin_frontends_are_registered():
+    assert frontend_names() == ("minic", "minipy")
+
+
+def test_lookup_is_case_insensitive_and_trimmed():
+    assert frontend_by_name(" MiniC ").name == "minic"
+    assert frontend_by_name("MINIPY").name == "minipy"
+
+
+def test_unknown_frontend_gets_a_did_you_mean_hint():
+    with pytest.raises(FrontendError, match="did you mean 'minipy'"):
+        frontend_by_name("minipi")
+    with pytest.raises(FrontendError, match="choose from: minic, minipy"):
+        frontend_by_name("rust")
+
+
+def test_duplicate_registration_is_rejected():
+    with pytest.raises(FrontendError, match="already registered"):
+        register_frontend(Frontend("minic", "dup", (".zz",), "x"))
+    with pytest.raises(FrontendError, match="already claimed"):
+        register_frontend(Frontend("other", "dup ext", (".mpy",), "x"))
+    assert "other" not in FRONTENDS
+
+
+# -- extension detection -------------------------------------------------------
+
+
+@pytest.mark.parametrize("path,expected", [
+    ("prog.c", "minic"),
+    ("prog.mc", "minic"),
+    ("prog.minic", "minic"),
+    ("prog.MPY", "minipy"),
+    ("dir/prog.minipy", "minipy"),
+    ("no_extension", "minic"),     # historic default
+    ("weird.xyz", "minic"),
+])
+def test_extension_detection(path, expected):
+    assert detect_frontend(path).name == expected
+
+
+def test_explicit_name_beats_the_extension():
+    assert resolve_frontend("minipy", "prog.c").name == "minipy"
+    assert resolve_frontend(None, "prog.mpy").name == "minipy"
+
+
+# -- annotation vocabulary -----------------------------------------------------
+
+
+def test_annotation_vocabulary_is_the_papers():
+    assert ANNOTATIONS == {"entry", "within", "ignore", "extern"}
+
+
+def test_unknown_annotation_gets_a_did_you_mean_hint():
+    with pytest.raises(FrontendError, match="did you mean 'entry'"):
+        validate_annotation("entyr", 3, 1)
+    with pytest.raises(FrontendError, match="3:1"):
+        validate_annotation("entyr", 3, 1)
+
+
+# -- builtin ABI ---------------------------------------------------------------
+
+
+def test_within_builtins_are_a_subset_of_the_abi():
+    assert WITHIN_BUILTINS <= set(BUILTIN_SIGNATURES)
+
+
+def test_auto_declare_stamps_extern_and_within():
+    module = Module("m")
+    fn = auto_declare_builtin(module, "memcpy")
+    assert fn is not None
+    assert "extern" in fn.attributes and "within" in fn.attributes
+    fn = auto_declare_builtin(module, "printf")
+    assert "extern" in fn.attributes and "within" not in fn.attributes
+    assert auto_declare_builtin(module, "nonesuch") is None
+
+
+# -- contract facts ------------------------------------------------------------
+
+
+def test_contract_facts_are_frontend_neutral():
+    from repro.frontend import compile_source as minic
+    from repro.frontend.minipy import compile_source as minipy
+
+    c_module = minic("""\
+        long color(blue) secret = 7;
+        ignore long declass(long v) { return v; }
+        entry long main() { return declass(secret); }
+    """)
+    py_module = minipy("""\
+secret = secure("blue", 7)
+
+@ignore
+def declass(v):
+    return v
+
+@entry
+def main():
+    return declass(secret)
+""")
+    for module in (c_module, py_module):
+        assert declassifiers(module) == ["declass"]
+        assert secure_globals(module) == {"secret": "blue"}
+        facts = effect_facts(module)
+        assert facts["main"]["colors_read"] == ["blue"]
+        assert facts["declass"]["declassifier"] is True
+        assert "entry" in facts["main"]["annotations"]
